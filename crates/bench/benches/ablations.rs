@@ -1,0 +1,143 @@
+//! Criterion benches for the design choices DESIGN.md calls out:
+//! Figure 3's variants (pr layouts, tc algorithms, cc algorithms, sssp
+//! tiling) plus vector-representation and Afforest-sampling ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::{Scale, StudyGraph};
+use study_core::runner::run_variant;
+use study_core::{PreparedGraph, Problem, Variant};
+
+fn bench_fig3_variants(c: &mut Criterion) {
+    let p = PreparedGraph::study(StudyGraph::Indochina04, Scale::custom(1.0 / 8.0));
+    for problem in [Problem::Pr, Problem::Tc, Problem::Cc, Problem::Sssp] {
+        let mut group = c.benchmark_group(format!("fig3/{problem}"));
+        group.sample_size(10);
+        for &variant in Variant::panel(problem) {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(variant.name()),
+                &variant,
+                |b, &variant| b.iter(|| run_variant(variant, &p)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_sssp_tiling_on_hub_graph(c: &mut Criterion) {
+    // Edge tiling matters on power-law graphs with huge hubs (paper: 1.5x
+    // on rmat26/twitter40).
+    let p = PreparedGraph::study(StudyGraph::Twitter40, Scale::custom(1.0 / 8.0));
+    let mut group = c.benchmark_group("sssp_tiling");
+    group.sample_size(10);
+    group.bench_function("tiled", |b| {
+        b.iter(|| lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, true).dist.len())
+    });
+    group.bench_function("notile", |b| {
+        b.iter(|| lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, false).dist.len())
+    });
+    group.finish();
+}
+
+fn bench_vector_representations(c: &mut Criterion) {
+    // GaloisBLAS picks the best vector representation per operation
+    // (paper §III-B); quantify the sparse-vs-dense gap for a reduce.
+    use graphblas::binops::Plus;
+    use graphblas::{ops, GaloisRuntime, Vector};
+    let n = 1 << 18;
+    let entries: Vec<(u32, u64)> = (0..n as u32).step_by(100).map(|i| (i, 1)).collect();
+    let sparse = Vector::from_entries(n, entries).unwrap();
+    let mut dense = sparse.clone();
+    dense.to_dense();
+
+    let mut group = c.benchmark_group("vector_repr_reduce_1pct");
+    group.sample_size(30);
+    group.bench_function("sparse", |b| {
+        b.iter(|| ops::reduce_vector(&sparse, Plus, GaloisRuntime))
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| ops::reduce_vector(&dense, Plus, GaloisRuntime))
+    });
+    group.finish();
+}
+
+fn bench_afforest_sampling(c: &mut Criterion) {
+    // Ablate Afforest's neighbor-sampling rounds (0 = plain union-find of
+    // all edges; 2 = the paper's setting).
+    let p = PreparedGraph::study(StudyGraph::Friendster, Scale::custom(1.0 / 8.0));
+    let mut group = c.benchmark_group("afforest_neighbor_rounds");
+    group.sample_size(10);
+    for rounds in [0usize, 1, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            b.iter(|| lonestar::cc::afforest(&p.symmetric, r).component.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs_direction_optimization(c: &mut Criterion) {
+    // The GraphBLAST-style push/pull switch (related work §VI), on both
+    // API styles, against their plain push versions.
+    let p = PreparedGraph::study(StudyGraph::Twitter40, Scale::custom(1.0 / 8.0));
+    let mut group = c.benchmark_group("bfs_direction");
+    group.sample_size(10);
+    group.bench_function("ls_push", |b| {
+        b.iter(|| lonestar::bfs::bfs(&p.graph, p.source).rounds)
+    });
+    group.bench_function("ls_dirop", |b| {
+        b.iter(|| {
+            lonestar::bfs::bfs_direction_optimizing(&p.graph, &p.transpose, p.source).rounds
+        })
+    });
+    group.bench_function("gb_push", |b| {
+        b.iter(|| {
+            lagraph::bfs::bfs(&p.graph, p.source, graphblas::GaloisRuntime)
+                .unwrap()
+                .rounds
+        })
+    });
+    group.bench_function("gb_push_pull", |b| {
+        b.iter(|| {
+            lagraph::bfs::bfs_push_pull(
+                &p.graph,
+                &p.transpose,
+                p.source,
+                graphblas::GaloisRuntime,
+            )
+            .unwrap()
+            .rounds
+        })
+    });
+    group.finish();
+}
+
+fn bench_betweenness(c: &mut Criterion) {
+    // The paper's motivating application (§I), as an extension: Brandes
+    // bc on both APIs from a handful of sources.
+    let p = PreparedGraph::study(StudyGraph::Indochina04, Scale::custom(1.0 / 16.0));
+    let sources: Vec<u32> = (0..4).map(|i| i * 7 % p.graph.num_nodes() as u32).collect();
+    let mut group = c.benchmark_group("betweenness");
+    group.sample_size(10);
+    group.bench_function("ls", |b| {
+        b.iter(|| lonestar::bc::betweenness(&p.graph, &sources).len())
+    });
+    group.bench_function("gb", |b| {
+        b.iter(|| {
+            lagraph::bc::betweenness(&p.graph, &sources, graphblas::GaloisRuntime)
+                .unwrap()
+                .centrality
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_variants,
+    bench_sssp_tiling_on_hub_graph,
+    bench_vector_representations,
+    bench_afforest_sampling,
+    bench_bfs_direction_optimization,
+    bench_betweenness
+);
+criterion_main!(benches);

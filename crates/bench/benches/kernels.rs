@@ -1,0 +1,204 @@
+//! Criterion micro-benchmarks of the GraphBLAS kernels, one group per
+//! kernel family. These isolate the per-call costs (extra passes,
+//! materialization) that the application-level tables aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas::binops::{LorLand, Min, MinPlus, Plus, PlusPair, PlusTimes, Times};
+use graphblas::{ops, Descriptor, GaloisRuntime, Matrix, MethodHint, StaticRuntime, Vector};
+
+fn setup_graph() -> graph::CsrGraph {
+    graph::gen::rmat(12, 16, graph::gen::RmatParams::default(), 42)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let g = setup_graph();
+    let n = g.num_nodes();
+    let a: Matrix<u64> = Matrix::from_graph(&g, u64::from);
+    let sparse_u = Vector::from_entries(n, vec![(0, 1u64), (17, 1), (4000, 1)]).unwrap();
+    let dense_u = Vector::new_dense(n, 1u64);
+
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    group.bench_function("vxm_sparse_frontier", |b| {
+        b.iter(|| {
+            let mut w: Vector<u64> = Vector::new(n);
+            ops::vxm(
+                &mut w,
+                None::<&Vector<u64>>,
+                LorLand,
+                &sparse_u,
+                &a,
+                &Descriptor::new().with_replace(true),
+                GaloisRuntime,
+            )
+            .unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("vxm_dense_input", |b| {
+        b.iter(|| {
+            let mut w: Vector<u64> = Vector::new(n);
+            ops::vxm(
+                &mut w,
+                None::<&Vector<u64>>,
+                PlusTimes,
+                &dense_u,
+                &a,
+                &Descriptor::new().with_replace(true),
+                GaloisRuntime,
+            )
+            .unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("mxv_dense_pull", |b| {
+        b.iter(|| {
+            let mut w: Vector<u64> = Vector::new(n);
+            ops::mxv(
+                &mut w,
+                None::<&Vector<u64>>,
+                MinPlus,
+                &a,
+                &dense_u,
+                &Descriptor::new(),
+                GaloisRuntime,
+            )
+            .unwrap();
+            w.nvals()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mxm_methods(c: &mut Criterion) {
+    let g = graph::transform::symmetrize(&graph::gen::web_crawl(4, 60, 7));
+    let l = graph::transform::lower_triangular(&g);
+    let u = graph::transform::upper_triangular(&g);
+    let lm: Matrix<u64> = Matrix::from_graph(&l, |_| 1);
+    let um: Matrix<u64> = Matrix::from_graph(&u, |_| 1);
+
+    let mut group = c.benchmark_group("mxm");
+    group.sample_size(20);
+    for method in [MethodHint::Gustavson, MethodHint::Hash] {
+        group.bench_with_input(
+            BenchmarkId::new("saxpy", format!("{method:?}")),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    ops::mxm(
+                        None::<&Matrix<bool>>,
+                        PlusTimes,
+                        &lm,
+                        &um,
+                        &Descriptor::new().with_method(method),
+                        GaloisRuntime,
+                    )
+                    .unwrap()
+                    .nvals()
+                })
+            },
+        );
+    }
+    group.bench_function("dot_masked_sandia", |b| {
+        let desc = Descriptor::new()
+            .with_method(MethodHint::Dot)
+            .with_mask_structural(true)
+            .with_transpose_b(true);
+        b.iter(|| {
+            ops::mxm(Some(&lm), PlusPair, &lm, &um, &desc, GaloisRuntime)
+                .unwrap()
+                .nvals()
+        })
+    });
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let n = 1 << 16;
+    let u = Vector::new_dense(n, 1.5f64);
+    let v = Vector::new_dense(n, 2.5f64);
+    let mask = Vector::from_entries(n, (0..n as u32).step_by(7).map(|i| (i, 1u32)).collect())
+        .unwrap();
+
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(30);
+    group.bench_function("ewise_add_dense", |b| {
+        b.iter(|| {
+            let mut w: Vector<f64> = Vector::new(n);
+            ops::ewise_add(&mut w, Plus, &u, &v, GaloisRuntime).unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("ewise_mult_dense", |b| {
+        b.iter(|| {
+            let mut w: Vector<f64> = Vector::new(n);
+            ops::ewise_mult(&mut w, Times, &u, &v, GaloisRuntime).unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("assign_masked_sparse", |b| {
+        b.iter(|| {
+            let mut w = Vector::new_dense(n, 0u32);
+            ops::assign_scalar(&mut w, Some(&mask), 7, &Descriptor::new(), GaloisRuntime)
+                .unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("reduce_dense", |b| {
+        b.iter(|| ops::reduce_vector(&u, Min, GaloisRuntime))
+    });
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    // The SS-vs-GB axis on one representative kernel.
+    let g = setup_graph();
+    let n = g.num_nodes();
+    let a: Matrix<f64> = Matrix::from_graph(&g, |_| 1.0);
+    let u = Vector::new_dense(n, 1.0f64);
+
+    let mut group = c.benchmark_group("backend_vxm_dense");
+    group.sample_size(20);
+    group.bench_function("static_ss", |b| {
+        b.iter(|| {
+            let mut w: Vector<f64> = Vector::new(n);
+            ops::vxm(
+                &mut w,
+                None::<&Vector<f64>>,
+                PlusTimes,
+                &u,
+                &a,
+                &Descriptor::new().with_replace(true),
+                StaticRuntime,
+            )
+            .unwrap();
+            w.nvals()
+        })
+    });
+    group.bench_function("galois_gb", |b| {
+        b.iter(|| {
+            let mut w: Vector<f64> = Vector::new(n);
+            ops::vxm(
+                &mut w,
+                None::<&Vector<f64>>,
+                PlusTimes,
+                &u,
+                &a,
+                &Descriptor::new().with_replace(true),
+                GaloisRuntime,
+            )
+            .unwrap();
+            w.nvals()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_mxm_methods,
+    bench_elementwise,
+    bench_backends
+);
+criterion_main!(benches);

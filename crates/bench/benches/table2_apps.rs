@@ -1,0 +1,43 @@
+//! Criterion version of Table II's cells: each benchmark is one
+//! (problem, system) pair on a small study graph, giving statistically
+//! sound per-application timings to complement the `table2` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::{Scale, StudyGraph};
+use study_core::{run, PreparedGraph, Problem, System};
+
+fn bench_apps(c: &mut Criterion) {
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 8.0));
+    for problem in Problem::all() {
+        let mut group = c.benchmark_group(format!("table2/{problem}"));
+        group.sample_size(10);
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.abbrev()),
+                &system,
+                |b, &system| b.iter(|| run(system, problem, &p)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_road_apps(c: &mut Criterion) {
+    // The high-diameter case where round-based execution hurts most.
+    let p = PreparedGraph::study(StudyGraph::RoadUsaW, Scale::custom(1.0 / 8.0));
+    for problem in [Problem::Bfs, Problem::Sssp, Problem::Cc] {
+        let mut group = c.benchmark_group(format!("table2_road/{problem}"));
+        group.sample_size(10);
+        for system in System::all() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(system.abbrev()),
+                &system,
+                |b, &system| b.iter(|| run(system, problem, &p)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_apps, bench_road_apps);
+criterion_main!(benches);

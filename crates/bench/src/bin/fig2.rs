@@ -1,0 +1,71 @@
+//! Regenerates **Figure 2**: strong scaling of GaloisBLAS (GB) and
+//! Lonestar (LS) for bfs, cc, pr and sssp on the four largest graphs.
+//!
+//! Prints one series per (problem, graph, system): runtime at each thread
+//! count. On hosts with fewer physical cores than the sweep maximum the
+//! upper points run oversubscribed; set `FIG2_MAX_THREADS` to bound the
+//! sweep (default: the host's available parallelism).
+//!
+//! ```text
+//! cargo run -p bench --bin fig2 --release
+//! ```
+
+use study_core::report::{secs, Table};
+use study_core::{timed_run, PreparedGraph, Problem, System};
+
+fn main() {
+    // Allow the sweep to exceed the default pool size; must happen before
+    // the first parallel construct creates the global pool.
+    let max_threads: usize = std::env::var("FIG2_MAX_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+    std::env::set_var("GALOIS_MAX_THREADS", max_threads.to_string());
+
+    let scale = bench::scale_from_env();
+    let selected = bench::graphs_from_env();
+    let four: Vec<_> = graph::StudyGraph::four_largest()
+        .into_iter()
+        .filter(|g| selected.contains(g))
+        .collect();
+    let prepared: Vec<PreparedGraph> = four
+        .into_iter()
+        .map(|g| {
+            eprintln!("[prepare] {} ...", g.name());
+            PreparedGraph::study(g, scale)
+        })
+        .collect();
+
+    let mut threads = Vec::new();
+    let mut t = 1;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+    if *threads.last().expect("non-empty") != max_threads {
+        threads.push(max_threads);
+    }
+
+    println!("Figure 2: strong scaling (seconds per thread count)\n");
+    for problem in [Problem::Bfs, Problem::Cc, Problem::Pr, Problem::Sssp] {
+        let mut table = Table::new(
+            std::iter::once("series".to_string())
+                .chain(threads.iter().map(|t| format!("t={t}"))),
+        );
+        for p in &prepared {
+            for system in [System::GaloisBlas, System::Lonestar] {
+                let mut cells = vec![format!("{} {} {}", problem, p.name, system)];
+                for &t in &threads {
+                    galois_rt::set_threads(t);
+                    let m = timed_run(system, problem, p);
+                    cells.push(secs(m.elapsed));
+                }
+                table.row(cells);
+            }
+        }
+        println!("{problem}:\n{table}");
+    }
+    galois_rt::set_threads(0);
+}

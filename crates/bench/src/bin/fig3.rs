@@ -1,0 +1,79 @@
+//! Regenerates **Figure 3**: speedups of the differential-analysis
+//! variants over the baseline `gb` variant, for cc, sssp, pr and tc on
+//! all nine graphs.
+//!
+//! ```text
+//! cargo run -p bench --bin fig3 --release            # all four panels
+//! cargo run -p bench --bin fig3 --release -- pr tc   # selected panels
+//! ```
+
+use study_core::report::{ratio, Table};
+use study_core::runner::timed_run_variant;
+use study_core::{Problem, Variant};
+use std::time::Duration;
+
+fn main() {
+    let scale = bench::scale_from_env();
+    let repeats = bench::repeats_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let panels: Vec<Problem> = if args.is_empty() {
+        vec![Problem::Pr, Problem::Tc, Problem::Cc, Problem::Sssp]
+    } else {
+        args.iter()
+            .filter_map(|a| match a.as_str() {
+                "pr" => Some(Problem::Pr),
+                "tc" => Some(Problem::Tc),
+                "cc" => Some(Problem::Cc),
+                "sssp" => Some(Problem::Sssp),
+                other => {
+                    eprintln!("[skip] unknown panel {other}");
+                    None
+                }
+            })
+            .collect()
+    };
+
+    let prepared = bench::prepare_graphs(scale);
+
+    println!("Figure 3: variant speedups over the gb baseline (higher is faster)\n");
+    for problem in panels {
+        let variants = Variant::panel(problem);
+        let mut table = Table::new(
+            std::iter::once("graph".to_string())
+                .chain(variants.iter().map(|v| v.name().to_string())),
+        );
+        for p in &prepared {
+            // Baseline: the gb variant (always last in the panel).
+            let baseline = variants
+                .iter()
+                .find(|v| v.name() == "gb")
+                .expect("every panel has a gb baseline");
+            let (base_time, _) = bench::timed_avg(repeats, || {
+                let m = timed_run_variant(*baseline, p);
+                (m.elapsed, ())
+            });
+            let mut cells = vec![p.name.clone()];
+            for &variant in variants {
+                let elapsed = if variant == *baseline {
+                    base_time
+                } else {
+                    let (e, ()) = bench::timed_avg(repeats, || {
+                        let m = timed_run_variant(variant, p);
+                        (m.elapsed, ())
+                    });
+                    e
+                };
+                cells.push(speedup(base_time, elapsed));
+            }
+            table.row(cells);
+        }
+        println!("fig 3 ({problem}):\n{table}");
+    }
+}
+
+fn speedup(base: Duration, t: Duration) -> String {
+    if t.as_nanos() == 0 {
+        return "inf".to_string();
+    }
+    ratio(base.as_secs_f64() / t.as_secs_f64())
+}

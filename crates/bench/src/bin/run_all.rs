@@ -1,0 +1,31 @@
+//! Runs the complete reproduction — every table and figure — in one
+//! process, printing each section in order. Convenience wrapper over the
+//! individual binaries for CI and EXPERIMENTS.md regeneration.
+//!
+//! ```text
+//! STUDY_SCALE=0.5 cargo run -p bench --bin run_all --release
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("target dir");
+    let mut failed = Vec::new();
+    for bin in ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3"] {
+        println!("\n===================== {bin} =====================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("[run_all] {bin} exited with {status}");
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall tables and figures regenerated.");
+    } else {
+        eprintln!("\nfailed sections: {failed:?}");
+        std::process::exit(1);
+    }
+}

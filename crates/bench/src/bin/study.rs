@@ -1,0 +1,189 @@
+//! `study` — run one (problem, system, graph) cell from the command line.
+//!
+//! The single-run front door for users who want to poke at the systems
+//! without the full table harness:
+//!
+//! ```text
+//! study <problem> [options]
+//!
+//! problems:  bfs cc ktruss pr sssp tc
+//! options:
+//!   --system SS|GB|LS     system to run (default: all three)
+//!   --graph NAME|PATH     study graph name (default rmat22) or a file
+//!                         (.mtx, .bin or edge list) to load
+//!   --scale F             study-graph scale factor (default 0.25)
+//!   --threads N           worker threads (default: all)
+//!   --perf                print software performance counters
+//!   --no-verify           skip verification against the serial reference
+//! ```
+//!
+//! Example: `study sssp --graph road-USA --scale 0.5 --system LS --perf`
+
+use study_core::report::secs;
+use study_core::{timed_run, verify, PreparedGraph, Problem, ProblemOutput, System};
+
+struct Options {
+    problem: Problem,
+    systems: Vec<System>,
+    graph: String,
+    scale: f64,
+    threads: Option<usize>,
+    perf: bool,
+    verify: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: study <bfs|cc|ktruss|pr|sssp|tc> [--system SS|GB|LS] [--graph NAME|PATH]\n\
+         \x20            [--scale F] [--threads N] [--perf] [--no-verify]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let problem = match args.next().as_deref() {
+        Some("bfs") => Problem::Bfs,
+        Some("cc") => Problem::Cc,
+        Some("ktruss") => Problem::Ktruss,
+        Some("pr") => Problem::Pr,
+        Some("sssp") => Problem::Sssp,
+        Some("tc") => Problem::Tc,
+        _ => usage(),
+    };
+    let mut opts = Options {
+        problem,
+        systems: System::all().to_vec(),
+        graph: "rmat22".to_string(),
+        scale: 0.25,
+        threads: None,
+        perf: false,
+        verify: true,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--system" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.systems = vec![match v.to_uppercase().as_str() {
+                    "SS" => System::SuiteSparse,
+                    "GB" => System::GaloisBlas,
+                    "LS" => System::Lonestar,
+                    _ => usage(),
+                }];
+            }
+            "--graph" => opts.graph = args.next().unwrap_or_else(|| usage()),
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--perf" => opts.perf = true,
+            "--no-verify" => opts.verify = false,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn load_graph(opts: &Options) -> PreparedGraph {
+    // A known study-graph name wins; otherwise treat as a path.
+    if let Some(which) = graph::StudyGraph::all()
+        .into_iter()
+        .find(|g| g.name().eq_ignore_ascii_case(&opts.graph))
+    {
+        return PreparedGraph::study(which, graph::Scale::custom(opts.scale));
+    }
+    let path = std::path::Path::new(&opts.graph);
+    let g = graph::io::load(path).unwrap_or_else(|e| {
+        eprintln!("cannot load {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let g = if g.is_weighted() {
+        g
+    } else {
+        g.with_random_weights(1_000_000, 7)
+    };
+    let source = g.max_out_degree_node();
+    PreparedGraph::from_graph(opts.graph.clone(), g, source, 7, 1 << 13)
+}
+
+fn summarize(out: &ProblemOutput) -> String {
+    match out {
+        ProblemOutput::Levels(l) => {
+            let reached = l.iter().filter(|&&x| x != 0).count();
+            let depth = l.iter().max().copied().unwrap_or(0);
+            format!("{reached} vertices reached, depth {depth}")
+        }
+        ProblemOutput::Components(c) => {
+            let mut labels: Vec<u32> = c.clone();
+            labels.sort_unstable();
+            labels.dedup();
+            format!("{} components", labels.len())
+        }
+        ProblemOutput::TrussEdges(e) => format!("{} directed edges in the truss", e),
+        ProblemOutput::Ranks(r) => {
+            let top = r
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, v)| format!("top vertex {i} ({v:.2e})"))
+                .unwrap_or_default();
+            format!("{} ranks, {top}", r.len())
+        }
+        ProblemOutput::Dists(d) => {
+            let reached = d.iter().filter(|&&x| x != u64::MAX).count();
+            format!("{reached} vertices reachable")
+        }
+        ProblemOutput::Triangles(t) => format!("{t} triangles"),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(t) = opts.threads {
+        std::env::set_var("GALOIS_MAX_THREADS", t.to_string());
+        galois_rt::set_threads(t);
+    }
+    eprintln!("[study] preparing {} (scale {}) ...", opts.graph, opts.scale);
+    let p = load_graph(&opts);
+    println!(
+        "{}: {} vertices, {} edges, source {}",
+        p.name,
+        p.graph.num_nodes(),
+        p.graph.num_edges(),
+        p.source
+    );
+    for &system in &opts.systems {
+        perfmon::reset();
+        perfmon::enable(opts.perf);
+        let m = timed_run(system, opts.problem, &p);
+        perfmon::enable(false);
+        let status = if opts.verify {
+            match verify::verify(&p, opts.problem, &m.output) {
+                Ok(()) => "verified",
+                Err(e) => {
+                    eprintln!("[study] {system}: VERIFICATION FAILED: {e}");
+                    "WRONG"
+                }
+            }
+        } else {
+            "unverified"
+        };
+        println!(
+            "{system:>2}  {}s  {}  [{status}]",
+            secs(m.elapsed),
+            summarize(&m.output)
+        );
+        if opts.perf {
+            println!("    {}", perfmon::PerfReport::new("counters", perfmon::snapshot()));
+        }
+    }
+}

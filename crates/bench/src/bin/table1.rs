@@ -1,0 +1,42 @@
+//! Regenerates **Table I**: the input graphs and their properties
+//! (|V|, |E|, average degree, max out/in degree, approximate diameter,
+//! CSR size).
+//!
+//! ```text
+//! cargo run -p bench --bin table1 --release
+//! ```
+
+use graph::GraphStats;
+use study_core::report::Table;
+
+fn main() {
+    let scale = bench::scale_from_env();
+    println!("Table I: input graphs and their properties (synthetic stand-ins)");
+    println!("scale factor: {scale:?}\n");
+
+    let mut table = Table::new([
+        "graph",
+        "|V|",
+        "|E|",
+        "|E|/|V|",
+        "max Dout",
+        "max Din",
+        "approx diam",
+        "CSR MB",
+    ]);
+    for which in bench::graphs_from_env() {
+        let g = which.build(scale);
+        let s = GraphStats::compute(&g);
+        table.row([
+            which.name().to_string(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            format!("{:.1}", s.avg_degree),
+            s.max_out_degree.to_string(),
+            s.max_in_degree.to_string(),
+            s.approx_diameter.to_string(),
+            study_core::report::mib(s.csr_size_bytes),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,147 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the reproduce binaries (one binary per table and
+//! figure of the paper; see DESIGN.md §4 for the index).
+//!
+//! Environment knobs:
+//!
+//! * `STUDY_SCALE` — multiplier on the default study scale (default
+//!   `0.25`; `1.0` matches DESIGN.md's ~1/1000-of-paper edge counts,
+//!   smaller values keep a full Table II sweep in single-digit minutes on
+//!   one core).
+//! * `STUDY_REPEATS` — timed repetitions per cell, reporting the average
+//!   as the paper does (default `1`; the paper used 3).
+//! * `STUDY_GRAPHS` — comma-separated subset of graph names to run.
+
+use std::time::Duration;
+use study_core::PreparedGraph;
+
+pub use graph::{Scale, StudyGraph};
+
+/// Reads the scale multiplier from `STUDY_SCALE`.
+pub fn scale_from_env() -> Scale {
+    let factor = std::env::var("STUDY_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    Scale::custom(factor)
+}
+
+/// Reads the repetition count from `STUDY_REPEATS`.
+pub fn repeats_from_env() -> u32 {
+    std::env::var("STUDY_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The graphs selected by `STUDY_GRAPHS` (all nine by default).
+pub fn graphs_from_env() -> Vec<StudyGraph> {
+    match std::env::var("STUDY_GRAPHS") {
+        Ok(list) => {
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            StudyGraph::all()
+                .into_iter()
+                .filter(|g| wanted.iter().any(|w| g.name().to_lowercase() == *w))
+                .collect()
+        }
+        Err(_) => StudyGraph::all().to_vec(),
+    }
+}
+
+/// Builds and prepares the selected graphs, echoing progress to stderr.
+///
+/// With `STUDY_CACHE_DIR` set, generated graphs are cached as binary CSR
+/// files keyed by name and scale, so repeated runs skip regeneration.
+pub fn prepare_graphs(scale: Scale) -> Vec<PreparedGraph> {
+    let cache_dir = std::env::var("STUDY_CACHE_DIR").ok();
+    graphs_from_env()
+        .into_iter()
+        .map(|which| {
+            eprintln!("[prepare] {} ...", which.name());
+            let graph = match &cache_dir {
+                Some(dir) => load_or_generate(dir, which, scale),
+                None => which.build(scale),
+            };
+            let source = which.source(&graph);
+            PreparedGraph::from_graph(
+                which.name(),
+                graph,
+                source,
+                which.ktruss_k(),
+                which.sssp_delta(),
+            )
+        })
+        .collect()
+}
+
+fn load_or_generate(dir: &str, which: StudyGraph, scale: Scale) -> graph::CsrGraph {
+    let path = std::path::Path::new(dir).join(format!("{}-{:?}.bin", which.name(), scale));
+    if let Ok(file) = std::fs::File::open(&path) {
+        if let Ok(g) = graph::io::read_binary(file) {
+            return g;
+        }
+        eprintln!("[cache] ignoring unreadable {}", path.display());
+    }
+    let g = which.build(scale);
+    if std::fs::create_dir_all(dir).is_ok() {
+        if let Ok(file) = std::fs::File::create(&path) {
+            if graph::io::write_binary(&g, file).is_err() {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    g
+}
+
+/// Averages `repeats` timed executions of `f` (discarding outputs after
+/// the first, which is returned for verification).
+pub fn timed_avg<T>(repeats: u32, mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let (mut total, first) = f();
+    for _ in 1..repeats {
+        total += f().0;
+    }
+    (total / repeats, first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // These read the live environment; just check they do not panic
+        // and produce sane defaults when unset.
+        let _ = scale_from_env();
+        assert!(repeats_from_env() >= 1);
+        assert!(!graphs_from_env().is_empty() || std::env::var("STUDY_GRAPHS").is_ok());
+    }
+
+    #[test]
+    fn graph_cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("study-cache-test-{}", std::process::id()));
+        let dir = dir.to_string_lossy().to_string();
+        let scale = Scale::custom(1.0 / 256.0);
+        let fresh = load_or_generate(&dir, StudyGraph::Rmat22, scale);
+        let cached = load_or_generate(&dir, StudyGraph::Rmat22, scale);
+        assert_eq!(fresh, cached, "cache must return the generated graph");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_avg_averages() {
+        let mut calls = 0u32;
+        let (avg, out) = timed_avg(4, || {
+            calls += 1;
+            (Duration::from_millis(10), calls)
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(out, 1, "first output is kept");
+        assert_eq!(avg, Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # study-core — the study harness
+//!
+//! Ties the three systems of *A Study of APIs for Graph Analytics
+//! Workloads* (IISWC 2020) together:
+//!
+//! * [`problem`] — the six problems, three systems and the Figure 3
+//!   algorithm variants as enums;
+//! * [`prepared`] — per-graph preprocessing (transpose, symmetrization,
+//!   degree sorting, experiment parameters), excluded from timings the
+//!   way the paper excludes loading/preprocessing;
+//! * [`runner`] — a uniform `System × Problem → output` dispatcher with
+//!   wall-clock timing;
+//! * [`mod@reference`] — serial reference implementations every parallel
+//!   result is verified against;
+//! * [`verify`] — output comparisons (exact, partition-equivalence or
+//!   tolerance-based as appropriate);
+//! * [`report`] — fixed-width table formatting for the reproduce
+//!   binaries.
+
+pub mod prepared;
+pub mod problem;
+pub mod reference;
+pub mod report;
+pub mod runner;
+pub mod verify;
+
+pub use prepared::PreparedGraph;
+pub use problem::{Problem, ProblemOutput, System, Variant};
+pub use runner::{run, timed_run, RunMeasurement};

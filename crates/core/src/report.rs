@@ -1,0 +1,150 @@
+//! Fixed-width table formatting for the reproduce binaries.
+
+/// A simple left-labelled, right-aligned numeric table (the layout of
+/// Tables I-V in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a duration in seconds (three decimals: the scaled-down
+/// graphs resolve in milliseconds where the paper's resolved in tens of
+/// milliseconds).
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats bytes as mebibytes with one decimal (Table III's unit is MB).
+pub fn mib(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a speedup/ratio with two decimals and an `x` suffix.
+pub fn ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.2}x")
+    } else {
+        "inf".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["graph", "SS", "GB", "LS"]);
+        t.row(["road-USA", "6.06", "6.87", "1.20"]);
+        t.row(["uk07", "2.06", "1.98", "0.50"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("graph"));
+        assert!(lines[2].contains("6.06"));
+        // All data lines align to the same width.
+        assert_eq!(lines[2].len(), lines[0].len());
+    }
+
+    #[test]
+    fn helpers_format_units() {
+        assert_eq!(secs(std::time::Duration::from_millis(1234)), "1.234");
+        assert_eq!(mib(10 * 1024 * 1024), "10.0");
+        assert_eq!(ratio(2.5), "2.50x");
+        assert_eq!(ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ragged_rows_render_without_panicking() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["a"]);
+        t.row(["b", "c", "d"]);
+        let s = t.render();
+        assert!(s.contains('d'));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

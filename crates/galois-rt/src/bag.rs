@@ -1,0 +1,203 @@
+//! Insert-only bag with per-thread lanes.
+//!
+//! `InsertBag` is the Galois data structure used to collect the *next*
+//! frontier in round-based data-driven algorithms (Algorithm 1 in the paper
+//! pushes newly discovered bfs vertices into one). Pushes go to a lane owned
+//! by the calling thread, so they are contention-free; the contents can then
+//! be consumed as a whole between rounds.
+
+use crate::pool::{current_thread_id, max_threads};
+use std::cell::UnsafeCell;
+
+/// A concurrent, insert-only collection with per-thread lanes.
+///
+/// `push` may be called concurrently from threads inside a parallel region
+/// (each thread writes only its own lane). Reading the contents
+/// ([`InsertBag::iter`], [`InsertBag::into_vec`], [`InsertBag::len`])
+/// requires `&mut self` or ownership, which guarantees all writers are done.
+///
+/// # Example
+///
+/// ```
+/// let mut bag = galois_rt::InsertBag::new();
+/// galois_rt::do_all(0..100, |i| {
+///     if i % 2 == 0 {
+///         bag.push(i);
+///     }
+/// });
+/// let mut v = bag.into_vec();
+/// v.sort_unstable();
+/// assert_eq!(v.len(), 50);
+/// assert_eq!(v[0], 0);
+/// ```
+pub struct InsertBag<T> {
+    lanes: Vec<Lane<T>>,
+}
+
+struct Lane<T> {
+    items: UnsafeCell<Vec<T>>,
+    /// Padding to avoid false sharing between lanes.
+    _pad: [u8; 64],
+}
+
+// SAFETY: each lane is only mutated by the thread whose id selects it, and
+// reads require exclusive access to the bag.
+unsafe impl<T: Send> Sync for InsertBag<T> {}
+unsafe impl<T: Send> Send for InsertBag<T> {}
+
+impl<T> Default for InsertBag<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> InsertBag<T> {
+    /// Creates an empty bag sized for the global thread pool.
+    pub fn new() -> Self {
+        Self::with_lanes(max_threads())
+    }
+
+    /// Creates an empty bag with an explicit number of lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn with_lanes(lanes: usize) -> Self {
+        assert!(lanes > 0, "InsertBag needs at least one lane");
+        InsertBag {
+            lanes: (0..lanes)
+                .map(|_| Lane {
+                    items: UnsafeCell::new(Vec::new()),
+                    _pad: [0; 64],
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends `item` to the calling thread's lane.
+    ///
+    /// May be called concurrently from within a parallel region.
+    #[inline]
+    pub fn push(&self, item: T) {
+        let tid = current_thread_id() % self.lanes.len();
+        // SAFETY: per-lane exclusivity — only the thread with this id writes
+        // this lane, and no readers exist while a region is running.
+        unsafe { (*self.lanes[tid].items.get()).push(item) };
+    }
+
+    /// Total number of items across all lanes.
+    pub fn len(&mut self) -> usize {
+        self.lanes
+            .iter_mut()
+            .map(|l| l.items.get_mut().len())
+            .sum()
+    }
+
+    /// Returns `true` if no items have been pushed.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.items.get_mut().clear();
+        }
+    }
+
+    /// Iterates over all items (lane by lane).
+    pub fn iter(&mut self) -> impl Iterator<Item = &T> {
+        self.lanes
+            .iter_mut()
+            .flat_map(|l| unsafe { (*l.items.get()).iter() })
+    }
+
+    /// Drains the bag into a single `Vec`, reusing the largest lane's
+    /// allocation when possible.
+    pub fn into_vec(mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for lane in &mut self.lanes {
+            out.append(lane.items.get_mut());
+        }
+        out
+    }
+
+    /// Drains the bag into the provided vector (which is cleared first).
+    pub fn drain_into(&mut self, out: &mut Vec<T>) {
+        out.clear();
+        for lane in &mut self.lanes {
+            out.append(lane.items.get_mut());
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for InsertBag<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InsertBag")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+impl<T: Send> FromIterator<T> for InsertBag<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let bag = InsertBag::new();
+        for item in iter {
+            bag.push(item);
+        }
+        bag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pushes_land_in_lane_zero() {
+        let mut bag = InsertBag::with_lanes(4);
+        bag.push(1);
+        bag.push(2);
+        assert_eq!(bag.len(), 2);
+        let v = bag.into_vec();
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_pushes_are_all_collected() {
+        let bag = InsertBag::new();
+        crate::do_all(0..10_000, |i| bag.push(i));
+        let mut bag = bag;
+        assert_eq!(bag.len(), 10_000);
+        let mut v = bag.into_vec();
+        v.sort_unstable();
+        assert!(v.iter().copied().eq(0..10_000));
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let mut bag = InsertBag::with_lanes(2);
+        bag.push(7);
+        bag.clear();
+        assert!(bag.is_empty());
+        bag.push(9);
+        assert_eq!(bag.into_vec(), vec![9]);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer() {
+        let mut bag = InsertBag::with_lanes(2);
+        bag.push(1);
+        bag.push(2);
+        let mut buf = vec![99, 98, 97];
+        bag.drain_into(&mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mut bag: InsertBag<u32> = (0..5).collect();
+        assert_eq!(bag.len(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Topology-driven parallel loops.
+//!
+//! `do_all` is the Galois construct used to iterate over all vertices or
+//! edges of a graph in parallel (Algorithm 1 of the paper uses it for
+//! initialisation and for processing the frontier). Two scheduling policies
+//! are provided:
+//!
+//! * [`do_all`] — dynamic self-scheduling of fixed-size chunks via a shared
+//!   atomic counter; this is what the Galois runtime effectively does and it
+//!   load-balances irregular per-iteration cost.
+//! * [`do_all_static`] — one contiguous block per thread, mimicking
+//!   OpenMP's `schedule(static)` used by SuiteSparse.
+
+use crate::pool::{global_pool, threads};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of iterations claimed per dynamic-scheduling grab.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// Runs `f(i)` for every `i` in `range`, in parallel, with dynamic
+/// chunk self-scheduling.
+///
+/// Iterations may run in any order and on any thread; `f` must therefore be
+/// safe to call concurrently for distinct `i`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let count = AtomicUsize::new(0);
+/// galois_rt::do_all(0..1000, |_| {
+///     count.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(count.into_inner(), 1000);
+/// ```
+pub fn do_all<F>(range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    do_all_chunked(range, DEFAULT_CHUNK, f);
+}
+
+/// [`do_all`] with an explicit chunk size.
+///
+/// Small chunks balance load for irregular work at the cost of more atomic
+/// traffic; large chunks approach static scheduling.
+pub fn do_all_chunked<F>(range: Range<usize>, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let nthreads = threads();
+    if nthreads == 1 || len <= chunk {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let chunk = chunk.max(1);
+    let base = range.start;
+    let next = AtomicUsize::new(0);
+    global_pool().region(nthreads, |_tid| loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= len {
+            break;
+        }
+        let end = (start + chunk).min(len);
+        for i in start..end {
+            f(base + i);
+        }
+    });
+}
+
+/// Runs `f(i)` for every `i` in `range` with one contiguous block per
+/// thread (OpenMP `schedule(static)` semantics).
+pub fn do_all_static<F>(range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let nthreads = threads().min(len);
+    if nthreads == 1 {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let base = range.start;
+    let per = len / nthreads;
+    let extra = len % nthreads;
+    global_pool().region(nthreads, |tid| {
+        // The first `extra` threads process one extra iteration.
+        let start = tid * per + tid.min(extra);
+        let end = start + per + usize::from(tid < extra);
+        for i in start..end {
+            f(base + i);
+        }
+    });
+}
+
+/// Runs `f(tid, nthreads)` exactly once on each active thread.
+///
+/// This is Galois' `on_each`; it is the escape hatch used to initialise
+/// per-thread state (e.g. scratch accumulators for Gustavson SpGEMM).
+pub fn on_each<F>(f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let nthreads = threads();
+    global_pool().region(nthreads, |tid| f(tid, nthreads));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn do_all_covers_every_index_once() {
+        let n = 4096;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        do_all(0..n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn do_all_empty_range_is_noop() {
+        do_all(10..10, |_| panic!("must not run"));
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 10..5;
+        do_all(reversed, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn do_all_respects_offset_range() {
+        let sum = AtomicU64::new(0);
+        do_all(100..200, |i| {
+            assert!((100..200).contains(&i));
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (100..200u64).sum());
+    }
+
+    #[test]
+    fn do_all_static_covers_every_index_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        do_all_static(0..n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn do_all_static_with_fewer_items_than_threads() {
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        do_all_static(0..3, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn do_all_chunked_tiny_chunk() {
+        let n = 513;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        do_all_chunked(0..n, 1, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn on_each_runs_once_per_thread() {
+        crate::set_threads(crate::max_threads());
+        let count = AtomicUsize::new(0);
+        on_each(|tid, n| {
+            assert!(tid < n);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), crate::threads());
+    }
+}

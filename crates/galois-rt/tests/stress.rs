@@ -1,0 +1,129 @@
+//! Stress and property tests of the runtime: exactness of work counts
+//! under churn, termination of the data-driven executors, and mixed
+//! construct sequences.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[test]
+fn alternating_constructs_do_not_wedge() {
+    // Interleave every construct repeatedly on the same pool.
+    for round in 0..50 {
+        let sum = AtomicU64::new(0);
+        galois_rt::do_all(0..100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        galois_rt::for_each(0..10u32, |x, ctx| {
+            if x < 5 && round % 2 == 0 {
+                ctx.push(x + 100);
+            }
+            sum.fetch_add(1, Ordering::Relaxed);
+        });
+        galois_rt::for_each_ordered([3u64, 1, 2], |&x| x, |x, _| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        let expected = (0..100u64).sum::<u64>()
+            + if round % 2 == 0 { 15 } else { 10 }
+            + 6;
+        assert_eq!(sum.into_inner(), expected, "round {round}");
+    }
+}
+
+#[test]
+fn deep_work_generation_terminates() {
+    // A chain 100_000 deep through the unordered executor.
+    let count = AtomicUsize::new(0);
+    galois_rt::for_each([0u32], |x, ctx| {
+        count.fetch_add(1, Ordering::Relaxed);
+        if x < 100_000 {
+            ctx.push(x + 1);
+        }
+    });
+    assert_eq!(count.into_inner(), 100_001);
+}
+
+#[test]
+fn obim_heavy_fan_out_processes_everything() {
+    // Each of 1000 roots fans out into 10 children at varied priorities.
+    let count = AtomicUsize::new(0);
+    galois_rt::for_each_ordered(
+        (0..1000u64).map(|i| (i, 0u8)),
+        |&(i, gen)| (i % 7) + u64::from(gen),
+        |(i, gen), ctx| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if gen == 0 {
+                for k in 0..10 {
+                    ctx.push((i + k, 1), (i + k) % 5);
+                }
+            }
+        },
+    );
+    assert_eq!(count.into_inner(), 1000 + 10_000);
+}
+
+#[test]
+fn reducers_survive_reuse_across_regions() {
+    let sum = galois_rt::ReduceSum::new();
+    for _ in 0..20 {
+        galois_rt::do_all(0..500, |_| sum.add(1));
+    }
+    assert_eq!(sum.reduce(), 10_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn do_all_sums_arbitrary_ranges(start in 0usize..1000, len in 0usize..5000) {
+        let sum = AtomicU64::new(0);
+        galois_rt::do_all(start..start + len, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        let expected: u64 = (start..start + len).map(|x| x as u64).sum();
+        prop_assert_eq!(sum.into_inner(), expected);
+    }
+
+    #[test]
+    fn for_each_processes_each_pushed_item_once(fanouts in proptest::collection::vec(0usize..4, 1..200)) {
+        // item i pushes `fanouts[i]` children (leaf children).
+        let processed = AtomicUsize::new(0);
+        let fanouts_ref = &fanouts;
+        galois_rt::for_each(0..fanouts.len(), |x, ctx| {
+            processed.fetch_add(1, Ordering::Relaxed);
+            if x < fanouts_ref.len() {
+                for _ in 0..fanouts_ref[x] {
+                    ctx.push(usize::MAX); // leaf marker
+                }
+            }
+        });
+        let expected = fanouts.len() + fanouts.iter().sum::<usize>();
+        prop_assert_eq!(processed.into_inner(), expected);
+    }
+
+    #[test]
+    fn obim_respects_item_count_with_random_priorities(
+        prios in proptest::collection::vec(0u64..20, 1..500)
+    ) {
+        let count = AtomicUsize::new(0);
+        let prios_ref = &prios;
+        galois_rt::for_each_ordered(
+            0..prios.len(),
+            |&i| prios_ref[i],
+            |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        prop_assert_eq!(count.into_inner(), prios.len());
+    }
+
+    #[test]
+    fn insert_bag_collects_all_parallel_pushes(n in 1usize..20_000) {
+        let bag = galois_rt::InsertBag::new();
+        galois_rt::do_all(0..n, |i| bag.push(i as u64));
+        let mut bag = bag;
+        prop_assert_eq!(bag.len(), n);
+        let mut v = bag.into_vec();
+        v.sort_unstable();
+        prop_assert!(v.iter().copied().eq(0..n as u64));
+    }
+}

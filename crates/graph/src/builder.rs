@@ -1,0 +1,269 @@
+//! Incremental construction of [`CsrGraph`]s from edge lists.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Builds a [`CsrGraph`] from an edge list.
+///
+/// Edges may be added in any order; `build` counting-sorts them into CSR.
+/// Duplicate edges are kept unless [`GraphBuilder::dedup`] is enabled
+/// (keeping the minimum weight per parallel edge, which is what shortest
+/// path semantics want).
+///
+/// # Example
+///
+/// ```
+/// let g = graph::GraphBuilder::new(3)
+///     .add_weighted_edge(0, 1, 5)
+///     .add_weighted_edge(1, 2, 7)
+///     .build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(0), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, u32)>,
+    weighted: bool,
+    dedup: bool,
+    symmetric: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            weighted: false,
+            dedup: false,
+            symmetric: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Creates a builder pre-sized for `num_edges` insertions.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(num_edges);
+        b
+    }
+
+    /// Adds an unweighted directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(mut self, src: NodeId, dst: NodeId) -> Self {
+        self.push_edge(src, dst, 1);
+        self
+    }
+
+    /// Adds a weighted directed edge, marking the graph as weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_weighted_edge(mut self, src: NodeId, dst: NodeId, w: u32) -> Self {
+        self.weighted = true;
+        self.push_edge(src, dst, w);
+        self
+    }
+
+    /// Non-consuming edge insertion for loops over large edge lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn push_edge(&mut self, src: NodeId, dst: NodeId, w: u32) {
+        assert!((src as usize) < self.num_nodes, "src {src} out of range");
+        assert!((dst as usize) < self.num_nodes, "dst {dst} out of range");
+        self.edges.push((src, dst, w));
+    }
+
+    /// Marks the edge list as weighted (for use with [`push_edge`]).
+    ///
+    /// [`push_edge`]: GraphBuilder::push_edge
+    pub fn weighted(mut self, yes: bool) -> Self {
+        self.weighted = yes;
+        self
+    }
+
+    /// Removes duplicate `(src, dst)` pairs at build time, keeping the
+    /// minimum weight.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Inserts the reverse of every edge at build time (undirected /
+    /// symmetrized graphs such as `friendster` or tc/ktruss inputs).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Drops self loops at build time (tc and ktruss require loop-free
+    /// inputs).
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Number of edges inserted so far (before symmetrization/dedup).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorts the edge list into CSR and returns the graph.
+    pub fn build(self) -> CsrGraph {
+        let GraphBuilder {
+            num_nodes,
+            mut edges,
+            weighted,
+            dedup,
+            symmetric,
+            drop_self_loops,
+        } = self;
+
+        if drop_self_loops {
+            edges.retain(|&(s, d, _)| s != d);
+        }
+        if symmetric {
+            let mut rev: Vec<(NodeId, NodeId, u32)> =
+                edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
+            edges.append(&mut rev);
+        }
+        edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        if dedup {
+            edges.dedup_by(|next, prev| {
+                if next.0 == prev.0 && next.1 == prev.1 {
+                    prev.2 = prev.2.min(next.2);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &(s, _, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let dests: Vec<NodeId> = edges.iter().map(|&(_, d, _)| d).collect();
+        let weights = weighted.then(|| edges.iter().map(|&(_, _, w)| w).collect());
+        CsrGraph::from_raw(offsets, dests, weights)
+    }
+}
+
+/// Convenience constructor: builds an unweighted directed graph from an
+/// iterator of `(src, dst)` pairs.
+pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> CsrGraph {
+    let mut b = GraphBuilder::new(num_nodes);
+    for (s, d) in edges {
+        b.push_edge(s, d, 1);
+    }
+    b.build()
+}
+
+/// Convenience constructor: builds a weighted directed graph from an
+/// iterator of `(src, dst, weight)` triples.
+pub fn from_weighted_edges(
+    num_nodes: usize,
+    edges: impl IntoIterator<Item = (NodeId, NodeId, u32)>,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(num_nodes).weighted(true);
+    for (s, d, w) in edges {
+        b.push_edge(s, d, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr_from_unsorted_edges() {
+        let g = from_edges(4, [(2, 3), (0, 2), (0, 1), (1, 3)]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = from_edges(3, [(0, 2), (0, 1), (0, 0)]);
+        assert_eq!(g.neighbor_slice(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let g = GraphBuilder::new(2)
+            .add_weighted_edge(0, 1, 9)
+            .add_weighted_edge(0, 1, 3)
+            .add_weighted_edge(0, 1, 7)
+            .dedup(true)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0), 3);
+    }
+
+    #[test]
+    fn symmetric_adds_reverse_edges() {
+        let g = GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .symmetric(true)
+            .build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn symmetric_dedup_collapses_mutual_edges() {
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .symmetric(true)
+            .dedup(true)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn drop_self_loops_removes_them() {
+        let g = GraphBuilder::new(2)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .add_edge(1, 1)
+            .drop_self_loops(true)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = from_edges(5, [(0, 1)]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.neighbors(4).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_src() {
+        let _ = GraphBuilder::new(2).add_edge(2, 0);
+    }
+
+    #[test]
+    fn weighted_flag_via_push_edge() {
+        let mut b = GraphBuilder::new(2).weighted(true);
+        b.push_edge(0, 1, 42);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(0), 42);
+    }
+}

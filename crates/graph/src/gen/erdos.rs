@@ -1,0 +1,44 @@
+//! Uniform random (Erdős–Rényi G(n, m)) generator, used as an unbiased
+//! baseline in tests and property checks.
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed graph with `n` vertices and `m` uniformly random
+/// edges (duplicates and self loops possible, as in G(n, m) multigraphs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n > 0, "graph must be non-empty");
+    assert!(n <= NodeId::MAX as usize, "graph too large for NodeId");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = crate::builder::GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n) as NodeId;
+        let d = rng.gen_range(0..n) as NodeId;
+        b.push_edge(s, d, 1);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_exact_edge_count() {
+        let g = erdos_renyi(100, 500, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = erdos_renyi(1000, 20_000, 2);
+        let max = (0..1000u32).map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max < 60, "uniform graphs lack hubs, max degree {max}");
+    }
+}

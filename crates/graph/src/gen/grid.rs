@@ -1,0 +1,100 @@
+//! Road-network stand-in: a rectangular grid with random edge weights.
+//!
+//! Road networks (road-USA, road-USA-W in Table I) are near-planar with
+//! average degree ≈ 2.4 and diameters in the thousands. A `w × h` grid has
+//! diameter `w + h - 2` and degree ≤ 4, reproducing the property that makes
+//! them pathological for round-based algorithms: bulk-synchronous
+//! executions need a number of rounds proportional to the diameter.
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `width × height` grid road network.
+///
+/// Every adjacent pair of cells is connected in both directions with a
+/// random weight in `1..=1000` (the same for both directions, as road
+/// segment lengths are symmetric). A small fraction of random "highway"
+/// shortcuts is added to mimic the non-planarity of real road data.
+///
+/// # Panics
+///
+/// Panics if `width * height` does not fit a [`NodeId`] or either dimension
+/// is zero.
+pub fn grid_road(width: usize, height: usize, seed: u64) -> CsrGraph {
+    assert!(width > 0 && height > 0, "grid must be non-empty");
+    let n = width
+        .checked_mul(height)
+        .filter(|&n| n <= NodeId::MAX as usize)
+        .expect("grid too large for NodeId");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let id = |x: usize, y: usize| (y * width + x) as NodeId;
+    let mut b = crate::builder::GraphBuilder::with_capacity(n, 4 * n).weighted(true);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                let w = rng.gen_range(1..=1000);
+                b.push_edge(id(x, y), id(x + 1, y), w);
+                b.push_edge(id(x + 1, y), id(x, y), w);
+            }
+            if y + 1 < height {
+                let w = rng.gen_range(1..=1000);
+                b.push_edge(id(x, y), id(x, y + 1), w);
+                b.push_edge(id(x, y + 1), id(x, y), w);
+            }
+        }
+    }
+    // ~0.1% of vertices get a shortcut to a nearby random vertex.
+    let shortcuts = n / 1000;
+    for _ in 0..shortcuts {
+        let a = rng.gen_range(0..n) as NodeId;
+        let c = rng.gen_range(0..n) as NodeId;
+        if a != c {
+            let w = rng.gen_range(500..=2000);
+            b.push_edge(a, c, w);
+            b.push_edge(c, a, w);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let g = grid_road(10, 5, 1);
+        assert_eq!(g.num_nodes(), 50);
+        // 2 * (9*5 + 10*4) interior edges, no shortcuts at this size
+        assert_eq!(g.num_edges(), 2 * (45 + 40));
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn corner_has_degree_two_interior_four() {
+        let g = grid_road(10, 10, 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(5 * 10 + 5), 4);
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let g = grid_road(4, 4, 3);
+        for v in 0..g.num_nodes() as NodeId {
+            for (d, w) in g.neighbors_weighted(v) {
+                let back = g
+                    .neighbors_weighted(d)
+                    .find(|&(x, _)| x == v)
+                    .expect("grid edges are bidirectional");
+                assert_eq!(back.1, w);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_grid() {
+        grid_road(0, 5, 0);
+    }
+}

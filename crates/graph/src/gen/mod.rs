@@ -1,0 +1,64 @@
+//! Deterministic synthetic graph generators.
+//!
+//! Each generator reproduces the *shape* of one class of input from
+//! Table I of the paper:
+//!
+//! | generator | stands in for | shape property it preserves |
+//! |---|---|---|
+//! | [`rmat`] | rmat22, rmat26 | power-law degrees, low diameter |
+//! | [`grid_road`] | road-USA-W, road-USA | constant degree ≈ 2.4, huge diameter |
+//! | [`preferential_attachment`] | twitter40, friendster | heavy-tailed social degrees |
+//! | [`web_crawl`] | indochina04, uk07 | host-local dense cliques + hub pages, very high max in-degree, many triangles |
+//! | [`community`] | eukarya | dense overlapping communities, avg degree ≈ 110 |
+//! | [`erdos_renyi`] | (tests) | uniform random baseline |
+//!
+//! All generators are deterministic in their seed.
+
+mod community;
+mod erdos;
+mod grid;
+mod preferential;
+mod rmat;
+mod webcrawl;
+
+pub use community::community;
+pub use erdos::erdos_renyi;
+pub use grid::grid_road;
+pub use preferential::preferential_attachment;
+pub use rmat::{rmat, RmatParams};
+pub use webcrawl::web_crawl;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            rmat(10, 8, RmatParams::default(), 7).dests(),
+            rmat(10, 8, RmatParams::default(), 7).dests()
+        );
+        assert_eq!(grid_road(10, 10, 3).dests(), grid_road(10, 10, 3).dests());
+        assert_eq!(
+            preferential_attachment(500, 4, false, 5).dests(),
+            preferential_attachment(500, 4, false, 5).dests()
+        );
+        assert_eq!(
+            web_crawl(20, 30, 9).dests(),
+            web_crawl(20, 30, 9).dests()
+        );
+        assert_eq!(community(300, 20, 11).dests(), community(300, 20, 11).dests());
+        assert_eq!(
+            erdos_renyi(200, 1000, 13).dests(),
+            erdos_renyi(200, 1000, 13).dests()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(
+            rmat(10, 8, RmatParams::default(), 1).dests(),
+            rmat(10, 8, RmatParams::default(), 2).dests()
+        );
+    }
+}

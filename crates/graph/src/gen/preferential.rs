@@ -1,0 +1,119 @@
+//! Social-network stand-in: preferential attachment (Barabási–Albert).
+//!
+//! twitter40 and friendster in Table I are social networks with
+//! heavy-tailed degree distributions and small diameters. Preferential
+//! attachment reproduces both: each new vertex attaches to `m` existing
+//! vertices chosen proportionally to their current degree.
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a preferential-attachment graph with `n` vertices, each new
+/// vertex adding `m` edges.
+///
+/// With `directed = true` the attachment edges point from the new vertex to
+/// the chosen targets (a "follows" graph like twitter40); with
+/// `directed = false` both directions are materialized (friendster is
+/// undirected).
+///
+/// # Panics
+///
+/// Panics if `n <= m` or `m == 0`.
+pub fn preferential_attachment(n: usize, m: usize, directed: bool, seed: u64) -> CsrGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is sampling proportional to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    let cap = if directed { n * m } else { 2 * n * m };
+    let mut b = crate::builder::GraphBuilder::with_capacity(n, cap);
+    // Seed clique over the first m + 1 vertices.
+    for u in 0..=m as NodeId {
+        for v in 0..=m as NodeId {
+            if u != v {
+                b.push_edge(u, v, 1);
+                if !directed {
+                    // builder already records both orientations from the loop
+                }
+                endpoints.push(v);
+            }
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as NodeId;
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            if directed {
+                // Random orientation: real follower graphs are not DAGs —
+                // traversals must be able to move both toward and away
+                // from the celebrities.
+                if rng.gen_bool(0.5) {
+                    b.push_edge(v, t, 1);
+                } else {
+                    b.push_edge(t, v, 1);
+                }
+            } else {
+                b.push_edge(v, t, 1);
+                b.push_edge(t, v, 1);
+            }
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_size_matches_model() {
+        let (n, m) = (1000, 5);
+        let g = preferential_attachment(n, m, true, 1);
+        assert_eq!(g.num_nodes(), n);
+        // clique + m per later vertex
+        assert_eq!(g.num_edges(), m * (m + 1) + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn undirected_graph_is_symmetric() {
+        let g = preferential_attachment(300, 3, false, 2);
+        for v in 0..g.num_nodes() as NodeId {
+            for d in g.neighbors(v) {
+                assert!(
+                    g.neighbors(d).any(|x| x == v),
+                    "edge ({v},{d}) lacks its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = preferential_attachment(5000, 4, true, 3);
+        let t = crate::transform::transpose(&g);
+        let max_in = (0..t.num_nodes() as NodeId)
+            .map(|v| t.out_degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            max_in > 50,
+            "early vertices should accumulate large in-degree, got {max_in}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        preferential_attachment(3, 3, true, 0);
+    }
+}

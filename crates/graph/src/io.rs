@@ -1,0 +1,424 @@
+//! Graph serialization: whitespace edge lists and MatrixMarket coordinate
+//! files.
+//!
+//! The study's original inputs ship as DIMACS/MatrixMarket files; these
+//! loaders let users run the harness on real downloads while the bundled
+//! generators cover the offline case.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Malformed content, with a line number and message.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "io error: {e}"),
+            ParseGraphError::Malformed { line, message } => {
+                write!(f, "malformed graph file at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> ParseGraphError {
+    ParseGraphError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a whitespace-separated edge list (`src dst [weight]` per line,
+/// `#`-prefixed comments allowed, 0-based vertex ids).
+///
+/// The vertex count is `max id + 1` unless `num_nodes` forces a larger
+/// graph.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on IO failure or malformed lines.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    num_nodes: Option<usize>,
+) -> Result<CsrGraph, ParseGraphError> {
+    let mut edges: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    let mut weighted = false;
+    let mut max_id: u64 = 0;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let src: u64 = it
+            .next()
+            .ok_or_else(|| malformed(lineno, "missing src"))?
+            .parse()
+            .map_err(|e| malformed(lineno, format!("bad src: {e}")))?;
+        let dst: u64 = it
+            .next()
+            .ok_or_else(|| malformed(lineno, "missing dst"))?
+            .parse()
+            .map_err(|e| malformed(lineno, format!("bad dst: {e}")))?;
+        let w = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<u32>()
+                    .map_err(|e| malformed(lineno, format!("bad weight: {e}")))?
+            }
+            None => 1,
+        };
+        if src > NodeId::MAX as u64 || dst > NodeId::MAX as u64 {
+            return Err(malformed(lineno, "vertex id exceeds 32 bits"));
+        }
+        max_id = max_id.max(src).max(dst);
+        edges.push((src as NodeId, dst as NodeId, w));
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len()).weighted(weighted);
+    for (s, d, w) in edges {
+        b.push_edge(s, d, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as an edge list (inverse of [`read_edge_list`]).
+///
+/// # Errors
+///
+/// Propagates IO failures from `writer`.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for v in 0..g.num_nodes() as NodeId {
+        for e in g.edge_range(v) {
+            if g.is_weighted() {
+                writeln!(w, "{} {} {}", v, g.edge_dst(e), g.edge_weight(e))?;
+            } else {
+                writeln!(w, "{} {}", v, g.edge_dst(e))?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Reads a MatrixMarket `coordinate` file as a graph (1-based ids,
+/// `pattern`/`integer`/`real` fields; real weights are rounded to u32;
+/// `symmetric` storage is expanded).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on IO failure or malformed content.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    let (first_no, first) = lines
+        .next()
+        .ok_or_else(|| malformed(1, "empty file"))
+        .and_then(|(i, l)| Ok((i + 1, l?)))?;
+    let header: Vec<String> = first.split_whitespace().map(str::to_lowercase).collect();
+    if header.len() < 5 || header[0] != "%%matrixmarket" || header[2] != "coordinate" {
+        return Err(malformed(first_no, "expected '%%MatrixMarket matrix coordinate ...'"));
+    }
+    let pattern = header[3] == "pattern";
+    let symmetric = header[4] == "symmetric";
+
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut b: Option<GraphBuilder> = None;
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match dims {
+            None => {
+                if toks.len() != 3 {
+                    return Err(malformed(lineno, "expected 'rows cols nnz'"));
+                }
+                let rows: usize = toks[0]
+                    .parse()
+                    .map_err(|e| malformed(lineno, format!("bad rows: {e}")))?;
+                let cols: usize = toks[1]
+                    .parse()
+                    .map_err(|e| malformed(lineno, format!("bad cols: {e}")))?;
+                let nnz: usize = toks[2]
+                    .parse()
+                    .map_err(|e| malformed(lineno, format!("bad nnz: {e}")))?;
+                if rows != cols {
+                    return Err(malformed(lineno, "adjacency matrices must be square"));
+                }
+                dims = Some((rows, cols, nnz));
+                b = Some(
+                    GraphBuilder::with_capacity(rows, if symmetric { nnz * 2 } else { nnz })
+                        .weighted(!pattern)
+                        .symmetric(symmetric)
+                        .dedup(symmetric),
+                );
+            }
+            Some((rows, _, _)) => {
+                if toks.len() < 2 {
+                    return Err(malformed(lineno, "expected 'row col [value]'"));
+                }
+                let r: usize = toks[0]
+                    .parse()
+                    .map_err(|e| malformed(lineno, format!("bad row: {e}")))?;
+                let c: usize = toks[1]
+                    .parse()
+                    .map_err(|e| malformed(lineno, format!("bad col: {e}")))?;
+                if r == 0 || c == 0 || r > rows || c > rows {
+                    return Err(malformed(lineno, "1-based index out of range"));
+                }
+                let w = if pattern {
+                    1
+                } else {
+                    let tok = toks
+                        .get(2)
+                        .ok_or_else(|| malformed(lineno, "missing value"))?;
+                    tok.parse::<f64>()
+                        .map_err(|e| malformed(lineno, format!("bad value: {e}")))?
+                        .abs()
+                        .round()
+                        .max(1.0) as u32
+                };
+                b.as_mut()
+                    .expect("builder initialised with dims")
+                    .push_edge((r - 1) as NodeId, (c - 1) as NodeId, w);
+            }
+        }
+    }
+    match b {
+        Some(b) => Ok(b.build()),
+        None => Err(malformed(1, "missing size line")),
+    }
+}
+
+/// Loads a graph from `path`, dispatching on the extension: `.mtx`
+/// (MatrixMarket), `.bin` (the binary cache format), edge list otherwise.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on IO failure or malformed content.
+pub fn load(path: &Path) -> Result<CsrGraph, ParseGraphError> {
+    let file = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => read_matrix_market(file),
+        Some("bin") => read_binary(file),
+        _ => read_edge_list(file, None),
+    }
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"CSRGRPH1";
+
+/// Writes `g` in the binary cache format (little-endian, magic-prefixed).
+///
+/// The format exists so repeated benchmark runs can skip regeneration;
+/// see [`read_binary`].
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&[u8::from(g.is_weighted())])?;
+    for &o in g.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &d in g.dests() {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    if let Some(weights) = g.weights() {
+        for &x in weights {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on IO failure, bad magic or truncation.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(malformed(1, "bad magic: not a CSR binary file"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let m = u64::from_le_bytes(u64buf) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let weighted = flag[0] != 0;
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut u64buf)?;
+        offsets.push(u64::from_le_bytes(u64buf) as usize);
+    }
+    let mut u32buf = [0u8; 4];
+    let mut dests = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut u32buf)?;
+        dests.push(u32::from_le_bytes(u32buf));
+    }
+    let weights = if weighted {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut u32buf)?;
+            ws.push(u32::from_le_bytes(u32buf));
+        }
+        Some(ws)
+    } else {
+        None
+    };
+    Ok(CsrGraph::from_raw(offsets, dests, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_weighted_edges;
+
+    #[test]
+    fn edge_list_round_trip_weighted() {
+        let g = from_weighted_edges(4, [(0, 1, 5), (1, 2, 6), (3, 0, 7)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..], None).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# comment\n\n0 1\n% another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_honours_forced_node_count() {
+        let g = read_edge_list("0 1\n".as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes(), None).unwrap_err();
+        assert!(matches!(err, ParseGraphError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn matrix_market_general_integer() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    % comment\n\
+                    3 3 2\n1 2 10\n3 1 20\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors_weighted(0).collect::<Vec<_>>(), vec![(1, 10)]);
+        assert_eq!(g.neighbors_weighted(2).collect::<Vec<_>>(), vec![(0, 20)]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern_expands() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n2 1\n3 2\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_weighted());
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_rectangular() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_header() {
+        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_out_of_range_index() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let g = crate::gen::rmat(8, 8, crate::gen::RmatParams::default(), 3)
+            .with_random_weights(1000, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_round_trip_unweighted_and_empty() {
+        let g = crate::builder::from_edges(3, [(0, 1)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        let empty = crate::csr::CsrGraph::from_raw(vec![0], vec![], None);
+        let mut buf = Vec::new();
+        write_binary(&empty, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), empty);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        assert!(read_binary(&b"NOTMAGIC"[..]).is_err());
+        let g = crate::builder::from_edges(3, [(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

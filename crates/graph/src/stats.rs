@@ -1,0 +1,165 @@
+//! Graph property report (Table I of the paper).
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::transform::transpose;
+
+/// The properties Table I reports for each input graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average out-degree `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Diameter estimate from a BFS double sweep (lower bound, the standard
+    /// "approx. diameter" methodology).
+    pub approx_diameter: usize,
+    /// Bytes of the CSR representation including weights.
+    pub csr_size_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes all Table I properties of `g`.
+    ///
+    /// The diameter estimate runs two serial BFS sweeps; for the scaled
+    /// study graphs this is milliseconds.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let nodes = g.num_nodes();
+        let edges = g.num_edges();
+        let max_out_degree = (0..nodes as NodeId).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        let t = transpose(g);
+        let max_in_degree = (0..nodes as NodeId).map(|v| t.out_degree(v)).max().unwrap_or(0);
+        let approx_diameter = approx_diameter(g, &t);
+        GraphStats {
+            nodes,
+            edges,
+            avg_degree: if nodes == 0 { 0.0 } else { edges as f64 / nodes as f64 },
+            max_out_degree,
+            max_in_degree,
+            approx_diameter,
+            csr_size_bytes: g.csr_size_bytes(),
+        }
+    }
+}
+
+/// Serial BFS returning `(levels, farthest_vertex, eccentricity)`.
+///
+/// Unreached vertices get `u32::MAX`.
+pub fn bfs_levels(g: &CsrGraph, src: NodeId) -> (Vec<u32>, NodeId, u32) {
+    let n = g.num_nodes();
+    let mut level = vec![u32::MAX; n];
+    if n == 0 {
+        return (level, 0, 0);
+    }
+    let mut queue = std::collections::VecDeque::new();
+    level[src as usize] = 0;
+    queue.push_back(src);
+    let mut far = src;
+    let mut ecc = 0;
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for d in g.neighbors(v) {
+            if level[d as usize] == u32::MAX {
+                level[d as usize] = next;
+                if next > ecc {
+                    ecc = next;
+                    far = d;
+                }
+                queue.push_back(d);
+            }
+        }
+    }
+    (level, far, ecc)
+}
+
+/// Double-sweep diameter lower bound on the union of the out- and
+/// in-adjacency (treating the graph as undirected, which is how diameters
+/// of directed inputs are conventionally reported).
+fn approx_diameter(g: &CsrGraph, t: &CsrGraph) -> usize {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    // Undirected BFS helper over g union t.
+    let sweep = |src: NodeId| -> (NodeId, u32) {
+        let mut level = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        level[src as usize] = 0;
+        queue.push_back(src);
+        let (mut far, mut ecc) = (src, 0);
+        while let Some(v) = queue.pop_front() {
+            let next = level[v as usize] + 1;
+            for d in g.neighbors(v).chain(t.neighbors(v)) {
+                if level[d as usize] == u32::MAX {
+                    level[d as usize] = next;
+                    if next > ecc {
+                        ecc = next;
+                        far = d;
+                    }
+                    queue.push_back(d);
+                }
+            }
+        }
+        (far, ecc)
+    };
+    // Start from the max-degree vertex, sweep twice.
+    let (far, _) = sweep(g.max_out_degree_node());
+    let (_, ecc) = sweep(far);
+    ecc as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn stats_of_a_path() {
+        // 0 -> 1 -> 2 -> 3
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.approx_diameter, 3);
+        assert!((s.avg_degree - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bfs_levels_are_shortest_hop_counts() {
+        let g = from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let (levels, _, ecc) = bfs_levels(&g, 0);
+        assert_eq!(levels, vec![0, 1, 1, 2, 3]);
+        assert_eq!(ecc, 3);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_at_max() {
+        let g = from_edges(3, [(0, 1)]);
+        let (levels, _, _) = bfs_levels(&g, 0);
+        assert_eq!(levels[2], u32::MAX);
+    }
+
+    #[test]
+    fn grid_diameter_matches_manhattan_distance() {
+        let g = crate::gen::grid_road(30, 20, 1);
+        let s = GraphStats::compute(&g);
+        // Shortcut edges may reduce it slightly, but it must be near w+h-2.
+        assert!(s.approx_diameter >= 30, "diameter {}", s.approx_diameter);
+        assert!(s.approx_diameter <= 48);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = crate::csr::CsrGraph::from_raw(vec![0], vec![], None);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.approx_diameter, 0);
+    }
+}

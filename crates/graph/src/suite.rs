@@ -1,0 +1,285 @@
+//! The nine-graph study suite (stand-ins for Table I of the paper).
+//!
+//! Each [`StudyGraph`] names one input of the paper and knows how to build
+//! a shape-preserving synthetic stand-in at a chosen [`Scale`], plus the
+//! per-graph experiment parameters from Section IV: the bfs/sssp source
+//! vertex, the ktruss `k`, and the delta-stepping `Δ`.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::gen;
+
+/// Size multiplier for the study suite.
+///
+/// `study()` targets roughly 1/1000 of the paper's edge counts, which keeps
+/// the full Table II sweep in minutes on one core while preserving each
+/// graph's shape; `tiny()` is for unit tests; `large()` for longer runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    factor: f64,
+}
+
+impl Scale {
+    /// Test scale: graphs of a few thousand edges.
+    pub fn tiny() -> Self {
+        Scale { factor: 1.0 / 16.0 }
+    }
+
+    /// Default scale used by the reproduce binaries.
+    pub fn study() -> Self {
+        Scale { factor: 1.0 }
+    }
+
+    /// 4x the study scale.
+    pub fn large() -> Self {
+        Scale { factor: 4.0 }
+    }
+
+    /// An arbitrary multiplier relative to [`Scale::study`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn custom(factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale must be positive");
+        Scale { factor }
+    }
+
+    fn apply(&self, base: usize) -> usize {
+        ((base as f64 * self.factor) as usize).max(16)
+    }
+
+    /// Linear factor applied along one grid dimension (areas scale with
+    /// `factor`, so sides scale with its square root).
+    fn apply_side(&self, base: usize) -> usize {
+        ((base as f64 * self.factor.sqrt()) as usize).max(4)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::study()
+    }
+}
+
+/// One of the nine inputs of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StudyGraph {
+    /// Western-USA road network (weighted, high diameter).
+    RoadUsaW,
+    /// Full-USA road network (weighted, high diameter).
+    RoadUsa,
+    /// RMAT scale-22 synthetic power-law graph.
+    Rmat22,
+    /// Indochina 2004 web crawl.
+    Indochina04,
+    /// Eukarya protein-similarity network (weighted, avg degree ≈ 110).
+    Eukarya,
+    /// RMAT scale-26 synthetic power-law graph.
+    Rmat26,
+    /// Twitter follower graph.
+    Twitter40,
+    /// Friendster social network (undirected).
+    Friendster,
+    /// UK 2007 web crawl.
+    Uk07,
+}
+
+impl StudyGraph {
+    /// All nine graphs in Table I column order (ascending size).
+    pub fn all() -> [StudyGraph; 9] {
+        [
+            StudyGraph::RoadUsaW,
+            StudyGraph::RoadUsa,
+            StudyGraph::Rmat22,
+            StudyGraph::Indochina04,
+            StudyGraph::Eukarya,
+            StudyGraph::Rmat26,
+            StudyGraph::Twitter40,
+            StudyGraph::Friendster,
+            StudyGraph::Uk07,
+        ]
+    }
+
+    /// The four largest graphs, used by the strong-scaling experiment
+    /// (Figure 2).
+    pub fn four_largest() -> [StudyGraph; 4] {
+        [
+            StudyGraph::Rmat26,
+            StudyGraph::Twitter40,
+            StudyGraph::Friendster,
+            StudyGraph::Uk07,
+        ]
+    }
+
+    /// Table I row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StudyGraph::RoadUsaW => "road-USA-W",
+            StudyGraph::RoadUsa => "road-USA",
+            StudyGraph::Rmat22 => "rmat22",
+            StudyGraph::Indochina04 => "indochina04",
+            StudyGraph::Eukarya => "eukarya",
+            StudyGraph::Rmat26 => "rmat26",
+            StudyGraph::Twitter40 => "twitter40",
+            StudyGraph::Friendster => "friendster",
+            StudyGraph::Uk07 => "uk07",
+        }
+    }
+
+    /// Whether the original input is a road network (affects the source
+    /// vertex and the ktruss `k`, per Section IV).
+    pub fn is_road(&self) -> bool {
+        matches!(self, StudyGraph::RoadUsaW | StudyGraph::RoadUsa)
+    }
+
+    /// Builds the stand-in graph at `scale`, with edge weights attached
+    /// exactly when the paper's input is weighted or gets random weights
+    /// (i.e. always — the paper generates random weights for unweighted
+    /// graphs so that sssp can run everywhere).
+    pub fn build(&self, scale: Scale) -> CsrGraph {
+        let seed = 0x5EED_0000 + *self as u64;
+        match self {
+            StudyGraph::RoadUsaW => gen::grid_road(
+                scale.apply_side(220),
+                scale.apply_side(120),
+                seed,
+            ),
+            StudyGraph::RoadUsa => gen::grid_road(
+                scale.apply_side(420),
+                scale.apply_side(230),
+                seed,
+            ),
+            StudyGraph::Rmat22 => {
+                let g = gen::rmat(rmat_scale(scale, 15), 16, gen::RmatParams::default(), seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+            StudyGraph::Indochina04 => {
+                let g = gen::web_crawl(scale.apply(320), 230, seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+            StudyGraph::Eukarya => {
+                // Protein-similarity scores span a wide range; the large
+                // weights are why the paper uses Δ = 2^20 and 64-bit
+                // distances on eukarya.
+                let g = gen::community(scale.apply(30_000), 55, seed);
+                g.with_random_weights(1 << 20, seed)
+            }
+            StudyGraph::Rmat26 => {
+                let g = gen::rmat(rmat_scale(scale, 17), 16, gen::RmatParams::default(), seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+            StudyGraph::Twitter40 => {
+                let g = gen::preferential_attachment(scale.apply(100_000), 15, true, seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+            StudyGraph::Friendster => {
+                let g = gen::preferential_attachment(scale.apply(130_000), 7, false, seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+            StudyGraph::Uk07 => {
+                let g = gen::web_crawl(scale.apply(450), 260, seed);
+                g.with_random_weights(1_000_000, seed)
+            }
+        }
+    }
+
+    /// Source vertex for bfs and sssp: vertex 0 on road networks, the
+    /// highest out-degree vertex otherwise (Section IV).
+    pub fn source(&self, g: &CsrGraph) -> NodeId {
+        if self.is_road() {
+            0
+        } else {
+            g.max_out_degree_node()
+        }
+    }
+
+    /// ktruss `k`: 4 on road networks, 7 elsewhere (Section IV).
+    pub fn ktruss_k(&self) -> u32 {
+        if self.is_road() {
+            4
+        } else {
+            7
+        }
+    }
+
+    /// Delta-stepping `Δ`: `2^13` everywhere except eukarya's `2^20`
+    /// (Section IV).
+    pub fn sssp_delta(&self) -> u64 {
+        match self {
+            StudyGraph::Eukarya => 1 << 20,
+            _ => 1 << 13,
+        }
+    }
+}
+
+impl std::fmt::Display for StudyGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps the area-based scale factor onto an RMAT scale exponent.
+fn rmat_scale(scale: Scale, base: u32) -> u32 {
+    let factor = scale.factor.log2().round() as i32;
+    (base as i32 + factor).clamp(6, 24) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_graphs_build_at_tiny_scale() {
+        for g in StudyGraph::all() {
+            let graph = g.build(Scale::tiny());
+            assert!(graph.num_nodes() > 0, "{g} is empty");
+            assert!(graph.num_edges() > 0, "{g} has no edges");
+            assert!(graph.is_weighted(), "{g} must carry weights for sssp");
+        }
+    }
+
+    #[test]
+    fn road_graphs_use_vertex_zero_as_source() {
+        let road = StudyGraph::RoadUsaW;
+        let g = road.build(Scale::tiny());
+        assert_eq!(road.source(&g), 0);
+        let rmat = StudyGraph::Rmat22;
+        let g = rmat.build(Scale::tiny());
+        assert_eq!(rmat.source(&g), g.max_out_degree_node());
+    }
+
+    #[test]
+    fn parameters_match_section_iv() {
+        assert_eq!(StudyGraph::RoadUsa.ktruss_k(), 4);
+        assert_eq!(StudyGraph::Twitter40.ktruss_k(), 7);
+        assert_eq!(StudyGraph::Eukarya.sssp_delta(), 1 << 20);
+        assert_eq!(StudyGraph::Uk07.sssp_delta(), 1 << 13);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = StudyGraph::all().iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = StudyGraph::Rmat22.build(Scale::tiny());
+        let b = StudyGraph::Rmat22.build(Scale::tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn road_diameter_dominates_rmat_diameter() {
+        let road = crate::stats::GraphStats::compute(&StudyGraph::RoadUsaW.build(Scale::tiny()));
+        let rmat = crate::stats::GraphStats::compute(&StudyGraph::Rmat22.build(Scale::tiny()));
+        assert!(
+            road.approx_diameter > 5 * rmat.approx_diameter,
+            "road {} vs rmat {}",
+            road.approx_diameter,
+            rmat.approx_diameter
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Graph transformations: transpose, symmetrize, degree-order relabeling
+//! and triangular restrictions.
+//!
+//! These are the preprocessing steps the paper's workloads rely on:
+//! pull-style operators need the transpose (`A^T`), tc/ktruss need a
+//! symmetrized loop-free graph, and triangle listing (`tc-ls`, `tc-gb-ll`)
+//! needs the graph relabeled by degree and restricted to one triangular
+//! half so each triangle is counted once.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Returns the transpose of `g` (in-edges become out-edges).
+///
+/// Weights follow their edges.
+pub fn transpose(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_nodes();
+    let mut offsets = vec![0usize; n + 1];
+    for &d in g.dests() {
+        offsets[d as usize + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut dests = vec![0 as NodeId; g.num_edges()];
+    let mut weights = g.is_weighted().then(|| vec![0u32; g.num_edges()]);
+    for v in 0..n as NodeId {
+        for e in g.edge_range(v) {
+            let d = g.edge_dst(e) as usize;
+            let slot = cursor[d];
+            cursor[d] += 1;
+            dests[slot] = v;
+            if let Some(w) = &mut weights {
+                w[slot] = g.edge_weight(e);
+            }
+        }
+    }
+    CsrGraph::from_raw(offsets, dests, weights)
+}
+
+/// Returns the symmetrized, loop-free version of `g`: for every edge
+/// `(u, v)` with `u != v`, both directions are present exactly once.
+///
+/// Parallel edges collapse to the minimum weight. This is the
+/// preprocessing tc and ktruss inputs get in the study.
+pub fn symmetrize(g: &CsrGraph) -> CsrGraph {
+    let mut b = crate::builder::GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() * 2)
+        .weighted(g.is_weighted())
+        .symmetric(true)
+        .dedup(true)
+        .drop_self_loops(true);
+    for v in 0..g.num_nodes() as NodeId {
+        for e in g.edge_range(v) {
+            b.push_edge(v, g.edge_dst(e), g.edge_weight(e));
+        }
+    }
+    b.build()
+}
+
+/// Relabels vertices so ids ascend with total degree (ties by old id) and
+/// returns the relabeled graph together with the permutation
+/// (`perm[old] = new`).
+///
+/// Triangle listing sorts by degree so that each edge is oriented from the
+/// lower-ranked to the higher-ranked endpoint, bounding the work per edge.
+pub fn sort_by_degree(g: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
+    let n = g.num_nodes();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by_key(|&v| (g.out_degree(v), v));
+    let mut perm = vec![0 as NodeId; n];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        perm[old_id as usize] = new_id as NodeId;
+    }
+    let mut b = crate::builder::GraphBuilder::with_capacity(n, g.num_edges())
+        .weighted(g.is_weighted());
+    for v in 0..n as NodeId {
+        for e in g.edge_range(v) {
+            b.push_edge(perm[v as usize], perm[g.edge_dst(e) as usize], g.edge_weight(e));
+        }
+    }
+    (b.build(), perm)
+}
+
+/// Keeps only edges `(u, v)` with `u < v` (the strict upper triangle of the
+/// adjacency matrix). On a symmetric graph this orients each undirected
+/// edge exactly once.
+pub fn upper_triangular(g: &CsrGraph) -> CsrGraph {
+    triangular(g, |u, v| u < v)
+}
+
+/// Keeps only edges `(u, v)` with `u > v` (the strict lower triangle).
+pub fn lower_triangular(g: &CsrGraph) -> CsrGraph {
+    triangular(g, |u, v| u > v)
+}
+
+fn triangular(g: &CsrGraph, keep: impl Fn(NodeId, NodeId) -> bool) -> CsrGraph {
+    let n = g.num_nodes();
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n as NodeId {
+        offsets[v as usize + 1] = g.neighbors(v).filter(|&d| keep(v, d)).count();
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut dests = Vec::with_capacity(offsets[n]);
+    let mut weights = g.is_weighted().then(|| Vec::with_capacity(offsets[n]));
+    for v in 0..n as NodeId {
+        for e in g.edge_range(v) {
+            let d = g.edge_dst(e);
+            if keep(v, d) {
+                dests.push(d);
+                if let Some(w) = &mut weights {
+                    w.push(g.edge_weight(e));
+                }
+            }
+        }
+    }
+    CsrGraph::from_raw(offsets, dests, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.neighbors(2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(t.out_degree(0), 0);
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let g = from_weighted_edges(3, [(0, 1, 10), (2, 1, 20)]);
+        let t = transpose(&g);
+        let edges: Vec<_> = t.neighbors_weighted(1).collect();
+        assert_eq!(edges, vec![(0, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let g = from_weighted_edges(5, [(0, 1, 1), (1, 2, 2), (3, 0, 3), (4, 4, 4)]);
+        assert_eq!(transpose(&transpose(&g)), g);
+    }
+
+    #[test]
+    fn symmetrize_produces_mutual_loop_free_edges() {
+        let g = from_edges(3, [(0, 1), (1, 0), (1, 1), (1, 2)]);
+        let s = symmetrize(&g);
+        assert_eq!(s.num_edges(), 4); // (0,1),(1,0),(1,2),(2,1)
+        assert_eq!(s.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(s.neighbors(2).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn sort_by_degree_orders_ascending() {
+        // vertex 0 has degree 3, vertex 1 degree 1, vertex 2 degree 0
+        let g = from_edges(3, [(0, 1), (0, 2), (0, 0), (1, 2)]);
+        let (sorted, perm) = sort_by_degree(&g);
+        // old 2 (deg 0) -> new 0, old 1 (deg 1) -> new 1, old 0 (deg 3) -> new 2
+        assert_eq!(perm, vec![2, 1, 0]);
+        assert_eq!(sorted.out_degree(0), 0);
+        assert_eq!(sorted.out_degree(1), 1);
+        assert_eq!(sorted.out_degree(2), 3);
+        assert_eq!(sorted.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn triangular_split_partitions_loop_free_edges() {
+        let g = symmetrize(&from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]));
+        let u = upper_triangular(&g);
+        let l = lower_triangular(&g);
+        assert_eq!(u.num_edges() + l.num_edges(), g.num_edges());
+        assert_eq!(u.num_edges(), l.num_edges());
+        for v in 0..4 {
+            assert!(u.neighbors(v).all(|d| d > v));
+            assert!(l.neighbors(v).all(|d| d < v));
+        }
+    }
+
+    #[test]
+    fn upper_triangular_keeps_weights() {
+        let g = from_weighted_edges(3, [(0, 1, 5), (1, 0, 6)]);
+        let u = upper_triangular(&g);
+        assert_eq!(u.num_edges(), 1);
+        assert_eq!(u.edge_weight(0), 5);
+    }
+}

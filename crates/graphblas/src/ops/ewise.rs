@@ -1,0 +1,252 @@
+//! Element-wise vector operations: `GrB_eWiseAdd` (union of structures)
+//! and `GrB_eWiseMult` (intersection).
+
+use crate::binops::BinOp;
+use crate::error::{dim_mismatch, GrbError};
+use crate::runtime::Runtime;
+use crate::scalar::Scalar;
+use crate::util::ParSlice;
+use crate::vector::Vector;
+
+fn check_sizes<T: Scalar>(
+    w: &Vector<T>,
+    u: &Vector<T>,
+    v: &Vector<T>,
+) -> Result<usize, GrbError> {
+    let n = w.size();
+    if u.size() != n || v.size() != n {
+        return Err(dim_mismatch(
+            format!("u.size == v.size == {n}"),
+            format!("u.size == {}, v.size == {}", u.size(), v.size()),
+        ));
+    }
+    Ok(n)
+}
+
+/// `w = u ⊕ v` over the union of structures: where both inputs have an
+/// entry `op` combines them, otherwise the single entry is copied.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] on size disagreement.
+pub fn ewise_add<T, B, R>(
+    w: &mut Vector<T>,
+    op: B,
+    u: &Vector<T>,
+    v: &Vector<T>,
+    rt: R,
+) -> Result<(), GrbError>
+where
+    T: Scalar,
+    B: BinOp<T>,
+    R: Runtime,
+{
+    let n = check_sizes(w, u, v)?;
+    if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
+        // Dense ∪ dense: one parallel pass.
+        let mut vals = vec![T::ZERO; n];
+        let mut present = vec![false; n];
+        {
+            let pv = ParSlice::new(&mut vals);
+            let pp = ParSlice::new(&mut present);
+            rt.parallel_for(n, |i| {
+                perfmon::instr(1);
+                perfmon::touch_ref(&uv[i]);
+                perfmon::touch_ref(&vv[i]);
+                let out = match (up[i], vp[i]) {
+                    (true, true) => Some(op.apply(uv[i], vv[i])),
+                    (true, false) => Some(uv[i]),
+                    (false, true) => Some(vv[i]),
+                    (false, false) => None,
+                };
+                if let Some(x) = out {
+                    // SAFETY: disjoint indices.
+                    unsafe {
+                        pv.write(i, x);
+                        pp.write(i, true);
+                    }
+                }
+            });
+        }
+        w.set_dense(vals, present);
+        return Ok(());
+    }
+    // Generic path: serial two-pointer merge over entry iterators.
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut ui = u.iter().peekable();
+    let mut vi = v.iter().peekable();
+    loop {
+        perfmon::instr(1);
+        match (ui.peek().copied(), vi.peek().copied()) {
+            (Some((i, x)), Some((j, y))) => {
+                let (k, out) = match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        ui.next();
+                        (i, x)
+                    }
+                    std::cmp::Ordering::Greater => {
+                        vi.next();
+                        (j, y)
+                    }
+                    std::cmp::Ordering::Equal => {
+                        ui.next();
+                        vi.next();
+                        (i, op.apply(x, y))
+                    }
+                };
+                idx.push(k);
+                vals.push(out);
+            }
+            (Some((i, x)), None) => {
+                ui.next();
+                idx.push(i);
+                vals.push(x);
+            }
+            (None, Some((j, y))) => {
+                vi.next();
+                idx.push(j);
+                vals.push(y);
+            }
+            (None, None) => break,
+        }
+        perfmon::touch_ref(vals.last().expect("just pushed"));
+    }
+    w.set_sparse(idx, vals);
+    Ok(())
+}
+
+/// `w = u ⊗ v` over the intersection of structures.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] on size disagreement.
+pub fn ewise_mult<T, B, R>(
+    w: &mut Vector<T>,
+    op: B,
+    u: &Vector<T>,
+    v: &Vector<T>,
+    rt: R,
+) -> Result<(), GrbError>
+where
+    T: Scalar,
+    B: BinOp<T>,
+    R: Runtime,
+{
+    let n = check_sizes(w, u, v)?;
+    if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
+        let mut vals = vec![T::ZERO; n];
+        let mut present = vec![false; n];
+        {
+            let pv = ParSlice::new(&mut vals);
+            let pp = ParSlice::new(&mut present);
+            rt.parallel_for(n, |i| {
+                perfmon::instr(1);
+                perfmon::touch_ref(&uv[i]);
+                perfmon::touch_ref(&vv[i]);
+                if up[i] && vp[i] {
+                    // SAFETY: disjoint indices.
+                    unsafe {
+                        pv.write(i, op.apply(uv[i], vv[i]));
+                        pp.write(i, true);
+                    }
+                }
+            });
+        }
+        w.set_dense(vals, present);
+        return Ok(());
+    }
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut ui = u.iter().peekable();
+    let mut vi = v.iter().peekable();
+    while let (Some(&(i, x)), Some(&(j, y))) = (ui.peek(), vi.peek()) {
+        perfmon::instr(1);
+        match i.cmp(&j) {
+            std::cmp::Ordering::Less => {
+                ui.next();
+            }
+            std::cmp::Ordering::Greater => {
+                vi.next();
+            }
+            std::cmp::Ordering::Equal => {
+                idx.push(i);
+                vals.push(op.apply(x, y));
+                perfmon::touch_ref(vals.last().expect("just pushed"));
+                ui.next();
+                vi.next();
+            }
+        }
+    }
+    w.set_sparse(idx, vals);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binops::{Min, Plus, Second};
+    use crate::runtime::GaloisRuntime;
+
+    #[test]
+    fn add_unions_sparse_structures() {
+        let u = Vector::from_entries(6, vec![(0, 1u32), (2, 2)]).unwrap();
+        let v = Vector::from_entries(6, vec![(2, 10u32), (5, 20)]).unwrap();
+        let mut w: Vector<u32> = Vector::new(6);
+        ewise_add(&mut w, Plus, &u, &v, GaloisRuntime).unwrap();
+        assert_eq!(w.entries(), vec![(0, 1), (2, 12), (5, 20)]);
+    }
+
+    #[test]
+    fn mult_intersects_sparse_structures() {
+        let u = Vector::from_entries(6, vec![(0, 1u32), (2, 2), (5, 3)]).unwrap();
+        let v = Vector::from_entries(6, vec![(2, 10u32), (5, 20)]).unwrap();
+        let mut w: Vector<u32> = Vector::new(6);
+        ewise_mult(&mut w, Plus, &u, &v, GaloisRuntime).unwrap();
+        assert_eq!(w.entries(), vec![(2, 12), (5, 23)]);
+    }
+
+    #[test]
+    fn dense_paths_match_sparse_semantics() {
+        let mut u = Vector::from_entries(8, vec![(1, 5u64), (3, 7), (6, 2)]).unwrap();
+        let mut v = Vector::from_entries(8, vec![(3, 1u64), (6, 9), (7, 4)]).unwrap();
+        let mut sparse_add: Vector<u64> = Vector::new(8);
+        ewise_add(&mut sparse_add, Min, &u, &v, GaloisRuntime).unwrap();
+        let mut sparse_mul: Vector<u64> = Vector::new(8);
+        ewise_mult(&mut sparse_mul, Min, &u, &v, GaloisRuntime).unwrap();
+        u.to_dense();
+        v.to_dense();
+        let mut dense_add: Vector<u64> = Vector::new(8);
+        ewise_add(&mut dense_add, Min, &u, &v, GaloisRuntime).unwrap();
+        let mut dense_mul: Vector<u64> = Vector::new(8);
+        ewise_mult(&mut dense_mul, Min, &u, &v, GaloisRuntime).unwrap();
+        assert_eq!(sparse_add.entries(), dense_add.entries());
+        assert_eq!(sparse_mul.entries(), dense_mul.entries());
+    }
+
+    #[test]
+    fn second_op_selects_right_input() {
+        let u = Vector::from_entries(3, vec![(0, 1u32)]).unwrap();
+        let v = Vector::from_entries(3, vec![(0, 9u32)]).unwrap();
+        let mut w: Vector<u32> = Vector::new(3);
+        ewise_mult(&mut w, Second, &u, &v, GaloisRuntime).unwrap();
+        assert_eq!(w.entries(), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn size_mismatch_errors() {
+        let u: Vector<u32> = Vector::new(3);
+        let v: Vector<u32> = Vector::new(4);
+        let mut w: Vector<u32> = Vector::new(3);
+        assert!(ewise_add(&mut w, Plus, &u, &v, GaloisRuntime).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        let u: Vector<u32> = Vector::new(5);
+        let v: Vector<u32> = Vector::new(5);
+        let mut w = Vector::from_entries(5, vec![(1, 1u32)]).unwrap();
+        ewise_add(&mut w, Plus, &u, &v, GaloisRuntime).unwrap();
+        assert!(w.is_empty());
+    }
+}

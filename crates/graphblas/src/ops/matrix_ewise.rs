@@ -1,0 +1,207 @@
+//! Matrix element-wise operations: `GrB_eWiseAdd`, `GrB_eWiseMult` and
+//! `GrB_apply` on matrices.
+//!
+//! These complete the API surface LAGraph algorithms draw on (e.g. graph
+//! intersection/union construction and value re-initialisation between
+//! ktruss rounds).
+
+use crate::binops::BinOp;
+use crate::error::{dim_mismatch, GrbError};
+use crate::matrix::Matrix;
+use crate::runtime::Runtime;
+use crate::scalar::Scalar;
+use crate::util::ParSlice;
+
+fn check_dims<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<(), GrbError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(dim_mismatch(
+            format!("{} x {}", a.nrows(), a.ncols()),
+            format!("{} x {}", b.nrows(), b.ncols()),
+        ));
+    }
+    Ok(())
+}
+
+/// `C = A ⊕ B` over the union of structures (rows merged in parallel).
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] when shapes differ.
+pub fn ewise_add_matrix<T, B, R>(
+    op: B,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    rt: R,
+) -> Result<Matrix<T>, GrbError>
+where
+    T: Scalar,
+    B: BinOp<T>,
+    R: Runtime,
+{
+    check_dims(a, b)?;
+    merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
+        (Some(x), Some(y)) => Some(op.apply(x, y)),
+        (Some(x), None) => Some(x),
+        (None, Some(y)) => Some(y),
+        (None, None) => None,
+    })
+}
+
+/// `C = A ⊗ B` over the intersection of structures.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] when shapes differ.
+pub fn ewise_mult_matrix<T, B, R>(
+    op: B,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    rt: R,
+) -> Result<Matrix<T>, GrbError>
+where
+    T: Scalar,
+    B: BinOp<T>,
+    R: Runtime,
+{
+    check_dims(a, b)?;
+    merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
+        (Some(x), Some(y)) => Some(op.apply(x, y)),
+        _ => None,
+    })
+}
+
+fn merge_rows<T, R>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    rt: R,
+    combine: impl Fn(Option<T>, Option<T>) -> Option<T> + Sync,
+) -> Result<Matrix<T>, GrbError>
+where
+    T: Scalar,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let (acols, avals) = a.row(i as u32);
+            let (bcols, bvals) = b.row(i as u32);
+            let mut out = Vec::new();
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < acols.len() || q < bcols.len() {
+                perfmon::instr(1);
+                let (col, av, bv, dp, dq) = match (acols.get(p), bcols.get(q)) {
+                    (Some(&ca), Some(&cb)) => match ca.cmp(&cb) {
+                        std::cmp::Ordering::Less => (ca, Some(avals[p]), None, 1, 0),
+                        std::cmp::Ordering::Greater => (cb, None, Some(bvals[q]), 0, 1),
+                        std::cmp::Ordering::Equal => {
+                            (ca, Some(avals[p]), Some(bvals[q]), 1, 1)
+                        }
+                    },
+                    (Some(&ca), None) => (ca, Some(avals[p]), None, 1, 0),
+                    (None, Some(&cb)) => (cb, None, Some(bvals[q]), 0, 1),
+                    (None, None) => unreachable!("loop condition"),
+                };
+                p += dp;
+                q += dq;
+                if let Some(v) = combine(av, bv) {
+                    perfmon::touch_ref(&v);
+                    out.push((col, v));
+                }
+            }
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = out };
+        });
+    }
+    Ok(Matrix::from_rows(nrows, a.ncols(), rows))
+}
+
+/// `C = f(A)` element-wise over explicit entries (`GrB_apply` on a
+/// matrix).
+pub fn apply_matrix<T, R>(a: &Matrix<T>, f: impl Fn(T) -> T + Sync, rt: R) -> Matrix<T>
+where
+    T: Scalar,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let (cols, vals) = a.row(i as u32);
+            let out: Vec<(u32, T)> = cols
+                .iter()
+                .zip(vals.iter())
+                .map(|(&c, &v)| {
+                    perfmon::instr(1);
+                    perfmon::touch_ref(&v);
+                    (c, f(v))
+                })
+                .collect();
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = out };
+        });
+    }
+    Matrix::from_rows(nrows, a.ncols(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binops::{Min, Plus};
+    use crate::runtime::GaloisRuntime;
+
+    fn m(t: Vec<(u32, u32, u32)>) -> Matrix<u32> {
+        Matrix::from_tuples(3, 3, t, Plus).unwrap()
+    }
+
+    #[test]
+    fn add_unions_structures() {
+        let a = m(vec![(0, 0, 1), (1, 1, 2)]);
+        let b = m(vec![(1, 1, 10), (2, 2, 20)]);
+        let c = ewise_add_matrix(Plus, &a, &b, GaloisRuntime).unwrap();
+        assert_eq!(c.to_tuples(), vec![(0, 0, 1), (1, 1, 12), (2, 2, 20)]);
+    }
+
+    #[test]
+    fn mult_intersects_structures() {
+        let a = m(vec![(0, 0, 4), (1, 1, 2), (0, 2, 9)]);
+        let b = m(vec![(0, 0, 3), (2, 2, 20)]);
+        let c = ewise_mult_matrix(Min, &a, &b, GaloisRuntime).unwrap();
+        assert_eq!(c.to_tuples(), vec![(0, 0, 3)]);
+    }
+
+    #[test]
+    fn apply_preserves_structure() {
+        let a = m(vec![(0, 1, 5), (2, 0, 7)]);
+        let c = apply_matrix(&a, |x| x * 2, GaloisRuntime);
+        assert_eq!(c.to_tuples(), vec![(0, 1, 10), (2, 0, 14)]);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = m(vec![]);
+        let b: Matrix<u32> = Matrix::new(2, 3);
+        assert!(ewise_add_matrix(Plus, &a, &b, GaloisRuntime).is_err());
+        assert!(ewise_mult_matrix(Plus, &a, &b, GaloisRuntime).is_err());
+    }
+
+    #[test]
+    fn add_of_disjoint_is_concatenation() {
+        let a = m(vec![(0, 0, 1)]);
+        let b = m(vec![(0, 1, 2)]);
+        let c = ewise_add_matrix(Plus, &a, &b, GaloisRuntime).unwrap();
+        assert_eq!(c.nvals(), 2);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a: Matrix<u32> = Matrix::new(3, 3);
+        let b = m(vec![(1, 1, 1)]);
+        let add = ewise_add_matrix(Plus, &a, &b, GaloisRuntime).unwrap();
+        assert_eq!(add.to_tuples(), vec![(1, 1, 1)]);
+        let mult = ewise_mult_matrix(Plus, &a, &b, GaloisRuntime).unwrap();
+        assert_eq!(mult.nvals(), 0);
+    }
+}

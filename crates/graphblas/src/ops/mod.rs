@@ -1,0 +1,27 @@
+//! GraphBLAS operations.
+//!
+//! Each function is one API call: internally it is a self-contained
+//! parallel kernel with a barrier at the end, which is exactly the
+//! execution structure whose cost the paper analyzes (every call is a
+//! separate pass over its operands — the *lightweight loops* limitation).
+//!
+//! All kernels are instrumented with [`perfmon`] hooks at element
+//! granularity so Tables IV and V can be regenerated.
+
+mod assign;
+mod ewise;
+mod extract;
+mod matrix_ewise;
+mod mxm;
+mod reduce;
+mod select;
+mod spmv;
+
+pub use assign::{apply, apply_inplace, assign_scalar};
+pub use ewise::{ewise_add, ewise_mult};
+pub use extract::extract;
+pub use matrix_ewise::{apply_matrix, ewise_add_matrix, ewise_mult_matrix};
+pub use mxm::mxm;
+pub use reduce::{reduce_matrix, reduce_rows, reduce_vector};
+pub use select::{select_matrix, select_vector};
+pub use spmv::{mxv, vxm};

@@ -1,0 +1,638 @@
+//! Sparse matrix-matrix multiplication (`GrB_mxm`, SpGEMM).
+//!
+//! Implements the three methods SuiteSparse chooses among (paper §III-A):
+//!
+//! * **Gustavson SAXPY** — per-thread dense accumulator over the output
+//!   row; fast, memory hungry.
+//! * **Hash SAXPY** — per-row open-addressing table; memory lean, extra
+//!   lookup work.
+//! * **SDOT** — per-output-entry dot products; only sensible under a mask
+//!   that bounds the output (the SandiaDot tc and ktruss patterns).
+//!
+//! GaloisBLAS' diagonal-matrix specialization (§III-B) is applied
+//! automatically when the left operand is diagonal.
+
+use crate::binops::SemiringOps;
+use crate::descriptor::{Descriptor, MethodHint};
+use crate::error::{dim_mismatch, GrbError};
+use crate::matrix::Matrix;
+use crate::runtime::Runtime;
+use crate::scalar::Scalar;
+use crate::util::ParSlice;
+use galois_rt::substrate::PerThread;
+
+/// `C<mask> = A ⊗.⊕ B` (or `A ⊗.⊕ Bᵀ` with `desc.transpose_b`).
+///
+/// Returns the product as a fresh matrix. The mask keeps only entries at
+/// its (value-passing or structural) positions; `desc.method` pins the
+/// SpGEMM method, with [`MethodHint::Auto`] reproducing SuiteSparse's
+/// choice (mask → dot, otherwise Gustavson, hash for very sparse rows).
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] on non-conforming operands and
+/// [`GrbError::MaskRequired`] for an unmasked dot-method request.
+pub fn mxm<T, M, S, R>(
+    mask: Option<&Matrix<M>>,
+    semiring: S,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Result<Matrix<T>, GrbError>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let (b_rows_eff, b_cols_eff) = if desc.transpose_b {
+        (b.ncols(), b.nrows())
+    } else {
+        (b.nrows(), b.ncols())
+    };
+    if a.ncols() != b_rows_eff {
+        return Err(dim_mismatch(
+            format!("a.ncols == b.nrows == {b_rows_eff}"),
+            format!("a.ncols == {}", a.ncols()),
+        ));
+    }
+    if let Some(m) = mask {
+        if m.nrows() != a.nrows() || m.ncols() != b_cols_eff {
+            return Err(dim_mismatch(
+                format!("mask is {} x {}", a.nrows(), b_cols_eff),
+                format!("mask is {} x {}", m.nrows(), m.ncols()),
+            ));
+        }
+    }
+
+    let method = match desc.method {
+        MethodHint::Auto => {
+            if mask.is_some() && !desc.mask_complement {
+                MethodHint::Dot
+            } else if a.nvals() <= a.nrows() && a.is_diagonal() {
+                // handled by the diagonal fast path below
+                MethodHint::Gustavson
+            } else if avg_row_nvals(a) < 4.0 {
+                MethodHint::Hash
+            } else {
+                MethodHint::Gustavson
+            }
+        }
+        m => m,
+    };
+
+    // GaloisBLAS diagonal specialization: C = D * B scales each row of B.
+    if a.nvals() <= a.nrows() && a.is_diagonal() && !desc.transpose_b {
+        return Ok(diagonal_scale(mask, semiring, a, b, desc, rt));
+    }
+
+    match method {
+        MethodHint::Dot => {
+            let Some(mask) = mask else {
+                return Err(GrbError::MaskRequired("mxm with the dot method"));
+            };
+            if desc.mask_complement {
+                return Err(GrbError::MaskRequired(
+                    "mxm(dot) with a complemented mask (unbounded output)",
+                ));
+            }
+            let bt_storage;
+            let bt = if desc.transpose_b {
+                b
+            } else {
+                bt_storage = b.transpose();
+                &bt_storage
+            };
+            Ok(dot_masked(mask, semiring, a, bt, desc, rt))
+        }
+        MethodHint::Gustavson | MethodHint::Hash | MethodHint::Auto => {
+            let bt_storage;
+            let b_eff = if desc.transpose_b {
+                // SAXPY needs row access to the effective B: materialize Bᵀ.
+                bt_storage = b.transpose();
+                &bt_storage
+            } else {
+                b
+            };
+            let c = if matches!(method, MethodHint::Hash) {
+                saxpy_hash(semiring, a, b_eff, rt)
+            } else {
+                saxpy_gustavson(semiring, a, b_eff, rt)
+            };
+            Ok(match mask {
+                Some(m) => filter_by_mask(c, m, desc, rt),
+                None => c,
+            })
+        }
+    }
+}
+
+fn avg_row_nvals<T: Scalar>(a: &Matrix<T>) -> f64 {
+    if a.nrows() == 0 {
+        0.0
+    } else {
+        a.nvals() as f64 / a.nrows() as f64
+    }
+}
+
+/// Gustavson scratch: a dense accumulator with generation stamps so it is
+/// cleared in O(touched) rather than O(ncols) per row.
+struct DenseScratch<T> {
+    vals: Vec<T>,
+    stamp: Vec<u32>,
+    generation: u32,
+    touched: Vec<u32>,
+}
+
+impl<T: Scalar> DenseScratch<T> {
+    fn new() -> Self {
+        DenseScratch {
+            vals: Vec::new(),
+            stamp: Vec::new(),
+            generation: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.vals.len() < n {
+            self.vals.resize(n, T::ZERO);
+            self.stamp.resize(n, 0);
+        }
+    }
+}
+
+fn saxpy_gustavson<T, S, R>(semiring: S, a: &Matrix<T>, b: &Matrix<T>, rt: R) -> Matrix<T>
+where
+    T: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let scratch: PerThread<DenseScratch<T>> = PerThread::new(DenseScratch::new);
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let row = scratch.with(|s| {
+                s.ensure(ncols);
+                s.generation += 1;
+                let generation = s.generation;
+                s.touched.clear();
+                let (acols, avals) = a.row(i as u32);
+                for (&k, &av) in acols.iter().zip(avals.iter()) {
+                    perfmon::touch_ref(&av);
+                    let (bcols, bvals) = b.row(k);
+                    for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
+                        perfmon::instr(2);
+                        perfmon::touch_ref(&bv);
+                        let prod = semiring.mul(av, bv);
+                        let j = j as usize;
+                        perfmon::touch_ref(&s.vals[j]);
+                        if s.stamp[j] != generation {
+                            s.stamp[j] = generation;
+                            s.vals[j] = prod;
+                            s.touched.push(j as u32);
+                        } else {
+                            s.vals[j] = semiring.add(s.vals[j], prod);
+                        }
+                    }
+                }
+                s.touched.sort_unstable();
+                s.touched
+                    .iter()
+                    .map(|&j| (j, s.vals[j as usize]))
+                    .collect::<Vec<_>>()
+            });
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = row };
+        });
+    }
+    Matrix::from_rows(nrows, ncols, rows)
+}
+
+/// Open-addressing scratch for the hash SAXPY method.
+struct HashScratch<T> {
+    keys: Vec<u32>,
+    vals: Vec<T>,
+}
+
+const HASH_EMPTY: u32 = u32::MAX;
+
+impl<T: Scalar> HashScratch<T> {
+    fn new() -> Self {
+        HashScratch {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, capacity_hint: usize) {
+        let cap = (capacity_hint.max(8) * 2).next_power_of_two();
+        self.keys.clear();
+        self.keys.resize(cap, HASH_EMPTY);
+        self.vals.clear();
+        self.vals.resize(cap, T::ZERO);
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        // Fibonacci hashing: spreads consecutive column ids.
+        let h = (u64::from(key)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.keys.len().trailing_zeros())) as usize
+    }
+
+    fn upsert(&mut self, key: u32, v: T, add: impl Fn(T, T) -> T) {
+        let mask = self.keys.len() - 1;
+        let mut pos = self.slot(key) & mask;
+        loop {
+            perfmon::instr(1);
+            perfmon::touch_ref(&self.keys[pos]);
+            if self.keys[pos] == HASH_EMPTY {
+                self.keys[pos] = key;
+                self.vals[pos] = v;
+                return;
+            }
+            if self.keys[pos] == key {
+                self.vals[pos] = add(self.vals[pos], v);
+                return;
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    fn drain_sorted(&self) -> Vec<(u32, T)> {
+        let mut out: Vec<(u32, T)> = self
+            .keys
+            .iter()
+            .zip(self.vals.iter())
+            .filter(|(&k, _)| k != HASH_EMPTY)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+}
+
+fn saxpy_hash<T, S, R>(semiring: S, a: &Matrix<T>, b: &Matrix<T>, rt: R) -> Matrix<T>
+where
+    T: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let scratch: PerThread<HashScratch<T>> = PerThread::new(HashScratch::new);
+    let add = |x, y| semiring.add(x, y);
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let (acols, avals) = a.row(i as u32);
+            // Upper bound on the row's intermediate products.
+            let mut flops = 0usize;
+            for &k in acols {
+                flops += b.row_nvals(k);
+            }
+            if flops == 0 {
+                return;
+            }
+            let row = scratch.with(|s| {
+                s.reset(flops);
+                for (&k, &av) in acols.iter().zip(avals.iter()) {
+                    perfmon::touch_ref(&av);
+                    let (bcols, bvals) = b.row(k);
+                    for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
+                        perfmon::instr(2);
+                        perfmon::touch_ref(&bv);
+                        s.upsert(j, semiring.mul(av, bv), add);
+                    }
+                }
+                s.drain_sorted()
+            });
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = row };
+        });
+    }
+    Matrix::from_rows(nrows, ncols, rows)
+}
+
+/// Masked dot-product SpGEMM: computes only the entries the mask allows,
+/// with `bt` holding the effective Bᵀ in CSR.
+fn dot_masked<T, M, S, R>(
+    mask: &Matrix<M>,
+    semiring: S,
+    a: &Matrix<T>,
+    bt: &Matrix<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Matrix<T>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let ncols = bt.nrows();
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let (mcols, mvals) = mask.row(i as u32);
+            if mcols.is_empty() {
+                return;
+            }
+            let (acols, avals) = a.row(i as u32);
+            let mut out = Vec::new();
+            for (&j, &mv) in mcols.iter().zip(mvals.iter()) {
+                perfmon::instr(1);
+                if !(desc.mask_structural || mv.is_nonzero()) {
+                    continue;
+                }
+                let (bcols, bvals) = bt.row(j);
+                // Merge-join the two sorted sparse rows.
+                let (mut p, mut q) = (0usize, 0usize);
+                let mut acc = semiring.add_identity();
+                let mut any = false;
+                while p < acols.len() && q < bcols.len() {
+                    perfmon::instr(1);
+                    perfmon::touch_ref(&acols[p]);
+                    perfmon::touch_ref(&bcols[q]);
+                    match acols[p].cmp(&bcols[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            acc = semiring.add(acc, semiring.mul(avals[p], bvals[q]));
+                            any = true;
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                if any {
+                    out.push((j, acc));
+                }
+            }
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = out };
+        });
+    }
+    Matrix::from_rows(nrows, ncols, rows)
+}
+
+/// Diagonal-times-matrix specialization: row `i` of the result is row `i`
+/// of `b` scaled by `a(i, i)`.
+fn diagonal_scale<T, M, S, R>(
+    mask: Option<&Matrix<M>>,
+    semiring: S,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Matrix<T>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let nrows = a.nrows();
+    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    {
+        let pr = ParSlice::new(&mut rows);
+        rt.parallel_for(nrows, |i| {
+            let Some(d) = a.get(i as u32, i as u32) else {
+                return;
+            };
+            let (bcols, bvals) = b.row(i as u32);
+            let row: Vec<(u32, T)> = bcols
+                .iter()
+                .zip(bvals.iter())
+                .map(|(&j, &bv)| {
+                    perfmon::instr(1);
+                    perfmon::touch_ref(&bv);
+                    (j, semiring.mul(d, bv))
+                })
+                .collect();
+            // SAFETY: one writer per row index.
+            unsafe { *pr.get_mut(i) = row };
+        });
+    }
+    let c = Matrix::from_rows(nrows, b.ncols(), rows);
+    match mask {
+        Some(m) => filter_by_mask(c, m, desc, rt),
+        None => c,
+    }
+}
+
+/// Keeps the entries of `c` the mask allows (the post-hoc mask application
+/// of the SAXPY methods).
+fn filter_by_mask<T, M, R>(c: Matrix<T>, mask: &Matrix<M>, desc: &Descriptor, rt: R) -> Matrix<T>
+where
+    T: Scalar,
+    M: Scalar,
+    R: Runtime,
+{
+    crate::ops::select_matrix(
+        &c,
+        |i, j, _| {
+            let pass = match mask.get(i, j) {
+                Some(mv) => desc.mask_structural || mv.is_nonzero(),
+                None => false,
+            };
+            pass != desc.mask_complement
+        },
+        rt,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binops::{Plus, PlusPair, PlusTimes};
+    use crate::vector::Vector;
+    use crate::runtime::GaloisRuntime;
+
+    fn mat(n: usize, t: Vec<(u32, u32, u64)>) -> Matrix<u64> {
+        Matrix::from_tuples(n, n, t, Plus).unwrap()
+    }
+
+    /// Undirected triangle 0-1-2 plus pendant edge 2-3.
+    fn tri_graph() -> Matrix<u64> {
+        mat(
+            4,
+            vec![
+                (0, 1, 1),
+                (1, 0, 1),
+                (0, 2, 1),
+                (2, 0, 1),
+                (1, 2, 1),
+                (2, 1, 1),
+                (2, 3, 1),
+                (3, 2, 1),
+            ],
+        )
+    }
+
+    fn dense_product(a: &Matrix<u64>, b: &Matrix<u64>) -> Vec<(u32, u32, u64)> {
+        let mut out = Vec::new();
+        for i in 0..a.nrows() as u32 {
+            for j in 0..b.ncols() as u32 {
+                let mut acc = 0;
+                let mut any = false;
+                for k in 0..a.ncols() as u32 {
+                    if let (Some(x), Some(y)) = (a.get(i, k), b.get(k, j)) {
+                        acc += x * y;
+                        any = true;
+                    }
+                }
+                if any {
+                    out.push((i, j, acc));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gustavson_matches_dense_reference() {
+        let a = mat(3, vec![(0, 0, 2), (0, 2, 1), (1, 1, 3), (2, 0, 4)]);
+        let b = mat(3, vec![(0, 1, 5), (1, 2, 6), (2, 1, 7)]);
+        let desc = Descriptor::new().with_method(MethodHint::Gustavson);
+        let c = mxm(None::<&Matrix<bool>>, PlusTimes, &a, &b, &desc, GaloisRuntime).unwrap();
+        assert_eq!(c.to_tuples(), dense_product(&a, &b));
+    }
+
+    #[test]
+    fn hash_matches_gustavson() {
+        let a = tri_graph();
+        let b = tri_graph();
+        let g = mxm(
+            None::<&Matrix<bool>>,
+            PlusTimes,
+            &a,
+            &b,
+            &Descriptor::new().with_method(MethodHint::Gustavson),
+            GaloisRuntime,
+        )
+        .unwrap();
+        let h = mxm(
+            None::<&Matrix<bool>>,
+            PlusTimes,
+            &a,
+            &b,
+            &Descriptor::new().with_method(MethodHint::Hash),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(g.to_tuples(), h.to_tuples());
+    }
+
+    #[test]
+    fn masked_dot_counts_triangles() {
+        // SandiaDot: C<L> = L * Uᵀ with plus_pair; sum(C) = triangles.
+        let adj = tri_graph();
+        let l = crate::ops::select_matrix(&adj, |i, j, _| j < i, GaloisRuntime);
+        let u = crate::ops::select_matrix(&adj, |i, j, _| j > i, GaloisRuntime);
+        let desc = Descriptor::new()
+            .with_method(MethodHint::Dot)
+            .with_transpose_b(true)
+            .with_mask_structural(true);
+        let c = mxm(Some(&l), PlusPair, &l, &u, &desc, GaloisRuntime).unwrap();
+        let total = crate::ops::reduce_matrix(&c, Plus, GaloisRuntime);
+        assert_eq!(total, 1, "exactly one triangle");
+    }
+
+    #[test]
+    fn dot_without_mask_errors() {
+        let a = tri_graph();
+        let desc = Descriptor::new().with_method(MethodHint::Dot);
+        assert!(matches!(
+            mxm(None::<&Matrix<bool>>, PlusTimes, &a, &a, &desc, GaloisRuntime),
+            Err(GrbError::MaskRequired(_))
+        ));
+    }
+
+    #[test]
+    fn transpose_b_multiplies_by_bt() {
+        let a = mat(2, vec![(0, 0, 1), (0, 1, 2)]);
+        let b = mat(2, vec![(1, 0, 3), (1, 1, 4)]); // bt = [[0,3],[0,4]]
+        let desc = Descriptor::new()
+            .with_method(MethodHint::Gustavson)
+            .with_transpose_b(true);
+        let c = mxm(None::<&Matrix<bool>>, PlusTimes, &a, &b, &desc, GaloisRuntime).unwrap();
+        // C = A * Bᵀ: C(0,1) = 1*3 + 2*4 = 11
+        assert_eq!(c.get(0, 1), Some(11));
+        assert_eq!(c.get(0, 0), None);
+    }
+
+    #[test]
+    fn diagonal_fast_path_scales_rows() {
+        let mut dvec: Vector<u64> = Vector::new(3);
+        dvec.set(0, 2).unwrap();
+        dvec.set(1, 3).unwrap();
+        dvec.set(2, 5).unwrap();
+        let d = Matrix::diagonal(&dvec);
+        let b = mat(3, vec![(0, 1, 10), (1, 2, 10), (2, 0, 10)]);
+        let c = mxm(
+            None::<&Matrix<bool>>,
+            PlusTimes,
+            &d,
+            &b,
+            &Descriptor::new(),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(c.get(0, 1), Some(20));
+        assert_eq!(c.get(1, 2), Some(30));
+        assert_eq!(c.get(2, 0), Some(50));
+    }
+
+    #[test]
+    fn saxpy_with_mask_filters_output() {
+        let a = tri_graph();
+        let maskm = mat(4, vec![(0, 1, 1)]);
+        let desc = Descriptor::new()
+            .with_method(MethodHint::Gustavson)
+            .with_mask_structural(true);
+        let c = mxm(Some(&maskm), PlusTimes, &a, &a, &desc, GaloisRuntime).unwrap();
+        assert!(c.to_tuples().iter().all(|&(i, j, _)| (i, j) == (0, 1)));
+        assert_eq!(c.get(0, 1), Some(1), "paths 0->2->1 of length 2");
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = mat(3, vec![(0, 0, 1)]);
+        let b = Matrix::from_tuples(2, 2, vec![(0, 0, 1u64)], Plus).unwrap();
+        assert!(mxm(
+            None::<&Matrix<bool>>,
+            PlusTimes,
+            &a,
+            &b,
+            &Descriptor::new(),
+            GaloisRuntime
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_operands_give_empty_product() {
+        let a: Matrix<u64> = Matrix::new(3, 3);
+        let b = mat(3, vec![(0, 1, 1)]);
+        for method in [MethodHint::Gustavson, MethodHint::Hash] {
+            let c = mxm(
+                None::<&Matrix<bool>>,
+                PlusTimes,
+                &a,
+                &b,
+                &Descriptor::new().with_method(method),
+                GaloisRuntime,
+            )
+            .unwrap();
+            assert_eq!(c.nvals(), 0);
+        }
+    }
+}

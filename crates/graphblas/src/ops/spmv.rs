@@ -1,0 +1,439 @@
+//! Sparse matrix-vector products: `GrB_vxm` (push) and `GrB_mxv` (pull).
+//!
+//! As §II-C of the paper lays out, `w = uᵀA` with a sparse `u` is one
+//! round of a round-based data-driven algorithm executed push-style
+//! (SAXPY), while `w = A·u` iterated over rows is the pull-style SDOT
+//! form. The push kernel materializes a dense accumulator per call — the
+//! *materialization* cost the paper measures.
+
+use crate::binops::SemiringOps;
+use crate::descriptor::Descriptor;
+use crate::error::{dim_mismatch, GrbError};
+use crate::matrix::Matrix;
+use crate::runtime::Runtime;
+use crate::scalar::Scalar;
+use crate::util::{AtomicAccumulator, ParSlice};
+use crate::vector::Vector;
+
+/// `w<mask> = u ⊗.⊕ A` (push-style row scaling, `GrB_vxm`).
+///
+/// Iterates the explicit entries of `u`; each scales its matrix row into a
+/// shared dense accumulator under the semiring's ⊕. The (optionally
+/// complemented) mask filters which outputs are kept. With `desc.replace`
+/// the previous contents of `w` are discarded, otherwise they merge.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] when `u.size != a.nrows`,
+/// `w.size != a.ncols`, or the mask size differs from `w`.
+pub fn vxm<T, M, S, R>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<M>>,
+    semiring: S,
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Result<(), GrbError>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    if u.size() != a.nrows() {
+        return Err(dim_mismatch(
+            format!("u.size == a.nrows == {}", a.nrows()),
+            format!("u.size == {}", u.size()),
+        ));
+    }
+    if w.size() != a.ncols() {
+        return Err(dim_mismatch(
+            format!("w.size == a.ncols == {}", a.ncols()),
+            format!("w.size == {}", w.size()),
+        ));
+    }
+    if let Some(m) = mask {
+        if m.size() != w.size() {
+            return Err(dim_mismatch(
+                format!("mask.size == {}", w.size()),
+                format!("mask.size == {}", m.size()),
+            ));
+        }
+    }
+
+    // Materialize the input entries so the parallel loop can index them.
+    let entries: Vec<(u32, T)> = u.entries();
+    // Dense accumulator over the output dimension: the intermediate the
+    // matrix API cannot avoid.
+    let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
+    let add = |x, y| semiring.add(x, y);
+    rt.parallel_for(entries.len(), |p| {
+        let (i, x) = entries[p];
+        perfmon::touch_ref(&entries[p]);
+        let (cols, vals) = a.row(i);
+        for (&j, &av) in cols.iter().zip(vals.iter()) {
+            perfmon::instr(2);
+            perfmon::touch_ref(&av);
+            if let Some(m) = mask {
+                let pass = m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                perfmon::instr(1);
+                if !pass {
+                    continue;
+                }
+            }
+            acc.accumulate(j as usize, semiring.mul(x, av), add);
+        }
+    });
+
+    store_accumulator(w, acc, desc.replace);
+    Ok(())
+}
+
+/// `w<mask> = A ⊗.⊕ u` (pull-style dot products per row, `GrB_mxv`).
+///
+/// Parallel over the rows of `A`; row `i` folds `⊕_k A(i,k) ⊗ u(k)`.
+/// Efficient when `u` is dense (the FastSV and pagerank usage); with a
+/// sparse `u` each matrix entry costs a binary search, faithfully
+/// reproducing why pull kernels want dense operands.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] on non-conforming sizes.
+pub fn mxv<T, M, S, R>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<M>>,
+    semiring: S,
+    a: &Matrix<T>,
+    u: &Vector<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Result<(), GrbError>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    if u.size() != a.ncols() {
+        return Err(dim_mismatch(
+            format!("u.size == a.ncols == {}", a.ncols()),
+            format!("u.size == {}", u.size()),
+        ));
+    }
+    if w.size() != a.nrows() {
+        return Err(dim_mismatch(
+            format!("w.size == a.nrows == {}", a.nrows()),
+            format!("w.size == {}", w.size()),
+        ));
+    }
+    if let Some(m) = mask {
+        if m.size() != w.size() {
+            return Err(dim_mismatch(
+                format!("mask.size == {}", w.size()),
+                format!("mask.size == {}", m.size()),
+            ));
+        }
+    }
+
+    let n = a.nrows();
+    let udense = u.dense_parts();
+    let mut vals = vec![T::ZERO; n];
+    let mut present = vec![false; n];
+    {
+        let pv = ParSlice::new(&mut vals);
+        let pp = ParSlice::new(&mut present);
+        rt.parallel_for(n, |i| {
+            if let Some(m) = mask {
+                perfmon::instr(1);
+                let pass =
+                    m.mask_at(i as u32, desc.mask_structural) != desc.mask_complement;
+                if !pass {
+                    return;
+                }
+            }
+            let (cols, avals) = a.row(i as u32);
+            let mut acc = semiring.add_identity();
+            let mut any = false;
+            for (&k, &av) in cols.iter().zip(avals.iter()) {
+                perfmon::instr(2);
+                perfmon::touch_ref(&av);
+                let x = match udense {
+                    Some((uvals, upresent)) => {
+                        perfmon::touch_ref(&uvals[k as usize]);
+                        upresent[k as usize].then(|| uvals[k as usize])
+                    }
+                    None => u.get(k),
+                };
+                if let Some(x) = x {
+                    acc = semiring.add(acc, semiring.mul(av, x));
+                    any = true;
+                }
+            }
+            if any {
+                // SAFETY: one writer per row.
+                unsafe {
+                    perfmon::touch(pv.addr_of(i));
+                    pv.write(i, acc);
+                    pp.write(i, true);
+                }
+            }
+        });
+    }
+
+    if desc.replace || mask.is_none() {
+        w.set_dense(vals, present);
+    } else {
+        // Merge: keep previous entries where the mask did not pass.
+        let old = std::mem::replace(w, Vector::new(n));
+        let mut merged_vals = vals;
+        let mut merged_present = present;
+        for (i, x) in old.iter() {
+            perfmon::instr(1);
+            if !merged_present[i as usize] {
+                merged_vals[i as usize] = x;
+                merged_present[i as usize] = true;
+            }
+        }
+        w.set_dense(merged_vals, merged_present);
+    }
+    Ok(())
+}
+
+/// Commits an accumulator into `w` under merge-or-replace semantics.
+fn store_accumulator<T: Scalar>(w: &mut Vector<T>, acc: AtomicAccumulator<T>, replace: bool) {
+    let n = acc.len();
+    if replace {
+        // Fresh contents: scan the accumulator once.
+        let entries = acc.into_entries();
+        let density = if n == 0 { 0.0 } else { entries.len() as f64 / n as f64 };
+        if density >= crate::vector::DENSE_THRESHOLD {
+            let mut vals = vec![T::ZERO; n];
+            let mut present = vec![false; n];
+            for &(i, v) in &entries {
+                vals[i as usize] = v;
+                present[i as usize] = true;
+            }
+            w.set_dense(vals, present);
+        } else {
+            let (idx, vals) = entries.into_iter().unzip();
+            w.set_sparse(idx, vals);
+        }
+    } else {
+        for (i, v) in acc.into_entries() {
+            perfmon::instr(1);
+            w.set(i, v).expect("accumulator indices in range");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binops::{LorLand, MinPlus, MinSecond, PlusTimes};
+    use crate::runtime::{GaloisRuntime, StaticRuntime};
+
+    /// 0 -> 1 -> 2 -> 3 path plus 0 -> 2 shortcut, boolean pattern.
+    fn path_matrix() -> Matrix<u32> {
+        Matrix::from_tuples(
+            4,
+            4,
+            vec![(0, 1, 1u32), (1, 2, 1), (2, 3, 1), (0, 2, 1)],
+            crate::binops::Plus,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn vxm_expands_frontier() {
+        let a = path_matrix();
+        let frontier = Vector::from_entries(4, vec![(0, 1u32)]).unwrap();
+        let mut next: Vector<u32> = Vector::new(4);
+        vxm(
+            &mut next,
+            None::<&Vector<u32>>,
+            LorLand,
+            &frontier,
+            &a,
+            &Descriptor::new().with_replace(true),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(next.entries(), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn vxm_complemented_mask_filters_visited() {
+        let a = path_matrix();
+        let frontier = Vector::from_entries(4, vec![(0, 1u32)]).unwrap();
+        // dist: vertex 1 already visited (non-zero)
+        let mut dist: Vector<u32> = Vector::new_dense(4, 0);
+        dist.set(1, 1).unwrap();
+        let mut next: Vector<u32> = Vector::new(4);
+        vxm(
+            &mut next,
+            Some(&dist),
+            LorLand,
+            &frontier,
+            &a,
+            &Descriptor::replace_complement(),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(next.entries(), vec![(2, 1)], "visited vertex 1 filtered");
+    }
+
+    #[test]
+    fn vxm_min_plus_relaxes_distances() {
+        let a = Matrix::from_tuples(
+            3,
+            3,
+            vec![(0, 1, 5u64), (0, 2, 2), (2, 1, 1)],
+            crate::binops::Plus,
+        )
+        .unwrap();
+        let dist = Vector::from_entries(3, vec![(0, 0u64), (2, 2)]).unwrap();
+        let mut next: Vector<u64> = Vector::new(3);
+        vxm(
+            &mut next,
+            None::<&Vector<u64>>,
+            MinPlus,
+            &dist,
+            &a,
+            &Descriptor::new().with_replace(true),
+            GaloisRuntime,
+        )
+        .unwrap();
+        // candidate dist(1) = min(0+5, 2+1) = 3; dist(2) = 0+2 = 2
+        assert_eq!(next.get(1), Some(3));
+        assert_eq!(next.get(2), Some(2));
+    }
+
+    #[test]
+    fn vxm_merges_without_replace() {
+        let a = path_matrix();
+        let u = Vector::from_entries(4, vec![(0, 1u32)]).unwrap();
+        let mut w = Vector::from_entries(4, vec![(3, 9u32)]).unwrap();
+        vxm(
+            &mut w,
+            None::<&Vector<u32>>,
+            LorLand,
+            &u,
+            &a,
+            &Descriptor::new(),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(w.entries(), vec![(1, 1), (2, 1), (3, 9)]);
+    }
+
+    #[test]
+    fn mxv_pulls_from_dense_vector() {
+        let a = path_matrix();
+        let mut u = Vector::new_dense(4, 1u32);
+        u.set(3, 7).unwrap();
+        let mut w: Vector<u32> = Vector::new(4);
+        mxv(
+            &mut w,
+            None::<&Vector<u32>>,
+            PlusTimes,
+            &a,
+            &u,
+            &Descriptor::new(),
+            StaticRuntime,
+        )
+        .unwrap();
+        // row 0 hits cols 1,2 -> 2; row 2 hits col 3 -> 7
+        assert_eq!(w.get(0), Some(2));
+        assert_eq!(w.get(1), Some(1));
+        assert_eq!(w.get(2), Some(7));
+        assert_eq!(w.get(3), None, "empty row yields no entry");
+    }
+
+    #[test]
+    fn mxv_min_second_propagates_labels() {
+        // FastSV-style: candidate parent of i = min over neighbors k of u[k].
+        let a = path_matrix();
+        let u = Vector::from_entries(4, vec![(0, 0u32), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let mut w: Vector<u32> = Vector::new(4);
+        mxv(
+            &mut w,
+            None::<&Vector<u32>>,
+            MinSecond,
+            &a,
+            &u,
+            &Descriptor::new(),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), Some(1), "min(u[1], u[2]) = 1");
+        assert_eq!(w.get(1), Some(2));
+    }
+
+    #[test]
+    fn mxv_masked_merge_keeps_old_entries() {
+        let a = path_matrix();
+        let u = Vector::new_dense(4, 1u32);
+        let mut w = Vector::from_entries(4, vec![(3, 42u32)]).unwrap();
+        let mask = Vector::from_entries(4, vec![(0, 1u32)]).unwrap();
+        mxv(
+            &mut w,
+            Some(&mask),
+            PlusTimes,
+            &a,
+            &u,
+            &Descriptor::new(),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), Some(2), "masked row recomputed");
+        assert_eq!(w.get(3), Some(42), "unmasked entry kept");
+    }
+
+    #[test]
+    fn dimension_mismatches_error() {
+        let a = path_matrix();
+        let u: Vector<u32> = Vector::new(3);
+        let mut w: Vector<u32> = Vector::new(4);
+        assert!(vxm(
+            &mut w,
+            None::<&Vector<u32>>,
+            LorLand,
+            &u,
+            &a,
+            &Descriptor::new(),
+            GaloisRuntime
+        )
+        .is_err());
+        let u4: Vector<u32> = Vector::new(4);
+        let mut w3: Vector<u32> = Vector::new(3);
+        assert!(mxv(
+            &mut w3,
+            None::<&Vector<u32>>,
+            PlusTimes,
+            &a,
+            &u4,
+            &Descriptor::new(),
+            GaloisRuntime
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn vxm_empty_input_clears_with_replace() {
+        let a = path_matrix();
+        let u: Vector<u32> = Vector::new(4);
+        let mut w = Vector::from_entries(4, vec![(1, 1u32)]).unwrap();
+        vxm(
+            &mut w,
+            None::<&Vector<u32>>,
+            LorLand,
+            &u,
+            &a,
+            &Descriptor::new().with_replace(true),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # lagraph — matrix-based graph algorithms on the GraphBLAS API
+//!
+//! Rust ports of the LAGraph programs evaluated in *A Study of APIs for
+//! Graph Analytics Workloads* (IISWC 2020), written purely against the
+//! [`graphblas`] API. Every algorithm is generic over the
+//! [`graphblas::Runtime`] backend, so the same code runs as
+//! **LAGraph/SuiteSparse** (`StaticRuntime`) or **LAGraph/GaloisBLAS**
+//! (`GaloisRuntime`) — the SS and GB columns of Table II.
+//!
+//! Variants match the paper's selections (§IV) and its differential
+//! analysis (§V-B, Figure 3):
+//!
+//! | problem | function | paper variant |
+//! |---|---|---|
+//! | bfs | [`bfs::bfs`] | LAGraph basic (Algorithm 2) |
+//! | cc | [`cc::connected_components`] | FastSV-style bounded pointer jumping (`cc-gb`) |
+//! | ktruss | [`ktruss::ktruss`] | round-based support pruning |
+//! | pr | [`pagerank::pagerank`] | topology-driven (`pr-gb`) |
+//! | pr | [`pagerank::pagerank_residual`] | residual-based (`pr-gb-res`) |
+//! | sssp | [`sssp::sssp_delta_stepping`] | bulk-synchronous delta-stepping (`sssp-gb`) |
+//! | tc | [`tc::tc_sandia_dot`] | SandiaDot (`tc-gb` / `tc-gb-sort`) |
+//! | tc | [`tc::tc_listing`] | triangle listing on a sorted DAG (`tc-gb-ll`) |
+//!
+//! Extensions beyond the paper's evaluation (documented in DESIGN.md §7):
+//! [`bfs::bfs_push_pull`] (the GraphBLAST direction optimization of the
+//! paper's related work), [`bfs::bfs_parent`] (parent-tree output),
+//! [`bc::betweenness`] (the paper's motivating application),
+//! [`kcore::kcore`] (bulk peeling) and [`mis::mis`] (Luby's rounds).
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod kcore;
+pub mod ktruss;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;
+pub mod tc;

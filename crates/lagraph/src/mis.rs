@@ -1,0 +1,185 @@
+//! Maximal independent set via Luby's algorithm (extension workload).
+//!
+//! The canonical bulk-synchronous MIS: every round, candidates compare
+//! their random priority against the maximum over their candidate
+//! neighborhood (`mxv` with the `max_second` semiring), local maxima join
+//! the set, and winners plus their neighborhoods leave the candidate
+//! pool — four full passes per round, O(log n) rounds. The graph API
+//! version (`lonestar::mis`) instead lets each vertex decide
+//! asynchronously the moment its higher-priority neighbors settle.
+
+use graph::{CsrGraph, NodeId};
+use graphblas::binops::MaxSecond;
+use graphblas::{ops, Descriptor, GrbError, Matrix, Runtime, Vector};
+
+/// Result of the matrix-based MIS computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisResult {
+    /// Whether each vertex is in the independent set.
+    pub in_set: Vec<bool>,
+    /// Bulk rounds executed (Luby's is O(log n) w.h.p.).
+    pub rounds: u32,
+}
+
+/// Deterministic unique priority: random high bits, vertex id low bits
+/// (ties are impossible, which Luby's progress argument needs).
+pub(crate) fn priority(v: NodeId, seed: u64) -> u64 {
+    let mut z = u64::from(v)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z & 0xFFFF_FFFF_0000_0000) | u64::from(v)
+}
+
+/// Computes a maximal independent set of a **symmetric, loop-free**
+/// graph with Luby's algorithm.
+///
+/// # Errors
+///
+/// Propagates [`GrbError`] from the GraphBLAS calls.
+pub fn mis<R: Runtime>(g: &CsrGraph, seed: u64, rt: R) -> Result<MisResult, GrbError> {
+    let n = g.num_nodes();
+    let a: Matrix<u64> = Matrix::from_graph(g, |_| 1);
+    let mut in_set = vec![false; n];
+
+    // Candidate priorities, dense with absences for removed vertices.
+    let mut cand: Vector<u64> = Vector::new_dense(n, 0);
+    for v in 0..n as u32 {
+        cand.set(v, priority(v, seed))?;
+    }
+
+    let mut rounds = 0u32;
+    while cand.nvals() > 0 {
+        rounds += 1;
+        // Pass 1: neighborhood maxima over the candidate subgraph.
+        let mut nbr_max: Vector<u64> = Vector::new(n);
+        ops::mxv(
+            &mut nbr_max,
+            None::<&Vector<u64>>,
+            MaxSecond,
+            &a,
+            &cand,
+            &Descriptor::new(),
+            rt,
+        )?;
+        // Pass 2: local maxima win (priorities are unique, so strict
+        // comparison suffices; isolated candidates have no entry in
+        // nbr_max and always win).
+        let mut winners: Vector<u64> = Vector::new(n);
+        ops::select_vector(
+            &mut winners,
+            &cand,
+            |v, p| p > nbr_max.get(v).unwrap_or(0),
+            rt,
+        );
+        debug_assert!(winners.nvals() > 0, "Luby round must make progress");
+        for (v, _) in winners.iter() {
+            in_set[v as usize] = true;
+        }
+        // Pass 3: the winners' neighborhoods leave the pool with them.
+        let mut covered: Vector<u64> = Vector::new(n);
+        ops::vxm(
+            &mut covered,
+            None::<&Vector<u64>>,
+            MaxSecond,
+            &winners,
+            &a,
+            &Descriptor::new().with_replace(true),
+            rt,
+        )?;
+        // Pass 4: shrink the candidate pool.
+        let mut next: Vector<u64> = Vector::new(n);
+        ops::select_vector(
+            &mut next,
+            &cand,
+            |v, _| winners.get(v).is_none() && covered.get(v).is_none(),
+            rt,
+        );
+        next.to_dense();
+        cand = next;
+    }
+
+    Ok(MisResult { in_set, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::builder::GraphBuilder;
+    use graph::transform::symmetrize;
+    use graphblas::{GaloisRuntime, StaticRuntime};
+
+    fn sym(edges: &[(u32, u32)], n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(s, d) in edges {
+            b.push_edge(s, d, 1);
+        }
+        symmetrize(&b.build())
+    }
+
+    pub(crate) fn assert_maximal_independent(g: &CsrGraph, in_set: &[bool]) {
+        for v in 0..g.num_nodes() as u32 {
+            if in_set[v as usize] {
+                for u in g.neighbors(v) {
+                    assert!(
+                        !in_set[u as usize],
+                        "edge {v}-{u} inside the independent set"
+                    );
+                }
+            } else {
+                assert!(
+                    g.neighbors(v).any(|u| in_set[u as usize]),
+                    "vertex {v} could join the set (not maximal)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_selects_exactly_one() {
+        let g = sym(&[(0, 1), (1, 2), (0, 2)], 3);
+        let r = mis(&g, 1, GaloisRuntime).unwrap();
+        assert_eq!(r.in_set.iter().filter(|&&x| x).count(), 1);
+        assert_maximal_independent(&g, &r.in_set);
+    }
+
+    #[test]
+    fn isolated_vertices_always_join() {
+        let g = sym(&[(1, 2)], 4);
+        let r = mis(&g, 2, GaloisRuntime).unwrap();
+        assert!(r.in_set[0] && r.in_set[3]);
+        assert_maximal_independent(&g, &r.in_set);
+    }
+
+    #[test]
+    fn property_holds_on_random_graphs() {
+        for seed in 0..4 {
+            let g = symmetrize(&graph::gen::erdos_renyi(300, 900, seed));
+            let r = mis(&g, seed, GaloisRuntime).unwrap();
+            assert_maximal_independent(&g, &r.in_set);
+            assert!(
+                r.rounds <= 20,
+                "Luby converges in O(log n) rounds, took {}",
+                r.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn backends_agree_exactly() {
+        // Same priorities, same bulk schedule: the sets are identical.
+        let g = symmetrize(&graph::gen::preferential_attachment(400, 4, false, 3));
+        let a = mis(&g, 7, StaticRuntime).unwrap();
+        let b = mis(&g, 7, GaloisRuntime).unwrap();
+        assert_eq!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn priorities_are_unique_per_vertex() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10_000u32 {
+            assert!(seen.insert(priority(v, 42)), "collision at {v}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! PageRank: topology-driven (`pr-gb`) and residual-based (`pr-gb-res`).
+//!
+//! Both run the same power iteration
+//! `pr' = (1-d)/n + d · Σ_{u→v} pr(u)/deg(u)` for a fixed number of
+//! rounds (the study runs pr for 10 iterations). The residual variant
+//! carries the per-round delta in a separate vector; mathematically it
+//! produces identical values, but — as the paper's differential analysis
+//! shows (§V-B, Table V) — the matrix API must touch the residual vector
+//! in **two** separate API calls per round (update the rank, scale by the
+//! out-degree), where the graph API fuses both into one loop.
+
+use graph::CsrGraph;
+use graphblas::binops::{Plus, PlusTimes, Times};
+use graphblas::{ops, Descriptor, GrbError, Matrix, Runtime, Vector};
+
+/// Damping factor used throughout the study.
+pub const DAMPING: f64 = 0.85;
+
+/// Builds the dense reciprocal-out-degree vector (dangling vertices get
+/// an explicit 0 so they contribute nothing).
+fn inv_degree(g: &CsrGraph) -> Vector<f64> {
+    let n = g.num_nodes();
+    let mut v = Vector::new_dense(n, 0.0);
+    for i in 0..n as u32 {
+        let d = g.out_degree(i);
+        if d > 0 {
+            v.set(i, 1.0 / d as f64).expect("index in range");
+        }
+    }
+    v
+}
+
+/// Topology-driven LAGraph pagerank (`pr-gb` in the paper): `iters`
+/// rounds of four bulk passes each (scale, spmv, damp, add-base).
+///
+/// # Errors
+///
+/// Propagates [`GrbError`] from the GraphBLAS calls.
+pub fn pagerank<R: Runtime>(
+    g: &CsrGraph,
+    iters: u32,
+    rt: R,
+) -> Result<Vec<f64>, GrbError> {
+    let n = g.num_nodes();
+    let a: Matrix<f64> = Matrix::from_graph(g, |_| 1.0);
+    let inv_deg = inv_degree(g);
+    // Initialized at (1-d)/n so the fixed-iteration result matches the
+    // residual formulation exactly (the paper aligned LAGraph's pr with
+    // Lonestar's answer the same way).
+    let base = Vector::new_dense(n, (1.0 - DAMPING) / n as f64);
+    let mut pr = base.clone();
+
+    for _ in 0..iters {
+        // Pass 1: contrib = pr .* (1/deg)
+        let mut contrib: Vector<f64> = Vector::new(n);
+        ops::ewise_mult(&mut contrib, Times, &pr, &inv_deg, rt)?;
+        // Pass 2: incoming = contribᵀ · A (push along out-edges)
+        let mut incoming: Vector<f64> = Vector::new(n);
+        ops::vxm(
+            &mut incoming,
+            None::<&Vector<bool>>,
+            PlusTimes,
+            &contrib,
+            &a,
+            &Descriptor::new().with_replace(true),
+            rt,
+        )?;
+        // Pass 3: damp
+        ops::apply_inplace(&mut incoming, |x| DAMPING * x, rt);
+        // Pass 4: pr = base + damped incoming
+        let mut next: Vector<f64> = Vector::new(n);
+        ops::ewise_add(&mut next, Plus, &base, &incoming, rt)?;
+        pr = next;
+    }
+
+    Ok((0..n as u32).map(|i| pr.get(i).unwrap_or(0.0)).collect())
+}
+
+/// Residual-based pagerank (`pr-gb-res`): identical math, carrying the
+/// per-round residual explicitly like the Lonestar implementation.
+///
+/// # Errors
+///
+/// Propagates [`GrbError`] from the GraphBLAS calls.
+pub fn pagerank_residual<R: Runtime>(
+    g: &CsrGraph,
+    iters: u32,
+    rt: R,
+) -> Result<Vec<f64>, GrbError> {
+    let n = g.num_nodes();
+    let a: Matrix<f64> = Matrix::from_graph(g, |_| 1.0);
+    let inv_deg = inv_degree(g);
+    let mut pr = Vector::new_dense(n, (1.0 - DAMPING) / n as f64);
+    let mut residual = pr.clone();
+
+    for _ in 0..iters {
+        // API call 1 on the residual: scale by the out-degree reciprocal.
+        let mut scaled: Vector<f64> = Vector::new(n);
+        ops::ewise_mult(&mut scaled, Times, &residual, &inv_deg, rt)?;
+        // Propagate along out-edges.
+        let mut incoming: Vector<f64> = Vector::new(n);
+        ops::vxm(
+            &mut incoming,
+            None::<&Vector<bool>>,
+            PlusTimes,
+            &scaled,
+            &a,
+            &Descriptor::new().with_replace(true),
+            rt,
+        )?;
+        ops::apply_inplace(&mut incoming, |x| DAMPING * x, rt);
+        // API call 2 on the residual: fold the new residual into the rank.
+        let mut next_pr: Vector<f64> = Vector::new(n);
+        ops::ewise_add(&mut next_pr, Plus, &pr, &incoming, rt)?;
+        pr = next_pr;
+        residual = incoming;
+    }
+
+    Ok((0..n as u32).map(|i| pr.get(i).unwrap_or(0.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::builder::from_edges;
+    use graphblas::{GaloisRuntime, StaticRuntime};
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn uniform_cycle_has_uniform_rank() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 10, GaloisRuntime).unwrap();
+        // On a cycle the iterate stays uniform; after t rounds the value is
+        // the truncated geometric series (1 - d^(t+1)) / n.
+        let expected = (1.0 - DAMPING.powi(11)) / 4.0;
+        assert!(close(&pr, &[expected; 4], 1e-12), "{pr:?}");
+        // And it converges to 1/n with more rounds.
+        let pr200 = pagerank(&g, 200, GaloisRuntime).unwrap();
+        assert!(close(&pr200, &[0.25; 4], 1e-9), "{pr200:?}");
+    }
+
+    #[test]
+    fn sink_like_vertex_accumulates_rank() {
+        // star into vertex 3
+        let g = from_edges(4, [(0, 3), (1, 3), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 20, GaloisRuntime).unwrap();
+        assert!(pr[3] > pr[0] && pr[3] > pr[1] && pr[3] > pr[2], "{pr:?}");
+    }
+
+    #[test]
+    fn residual_variant_matches_topology_variant() {
+        let g = graph::gen::rmat(7, 8, graph::gen::RmatParams::default(), 3);
+        let a = pagerank(&g, 10, GaloisRuntime).unwrap();
+        let b = pagerank_residual(&g, 10, GaloisRuntime).unwrap();
+        assert!(close(&a, &b, 1e-12), "residual formulation is exact");
+    }
+
+    #[test]
+    fn backends_agree() {
+        let g = graph::gen::web_crawl(2, 30, 1);
+        let ss = pagerank(&g, 10, StaticRuntime).unwrap();
+        let gb = pagerank(&g, 10, GaloisRuntime).unwrap();
+        assert!(close(&ss, &gb, 1e-12));
+    }
+
+    #[test]
+    fn ranks_sum_to_at_most_one() {
+        // (dangling mass leaks, so the sum is <= 1)
+        let g = from_edges(5, [(0, 1), (1, 2), (3, 2)]);
+        let pr = pagerank(&g, 10, GaloisRuntime).unwrap();
+        let total: f64 = pr.iter().sum();
+        assert!(total <= 1.0 + 1e-9 && total > 0.2, "total {total}");
+    }
+}

@@ -1,0 +1,138 @@
+//! k-core decomposition with the graph API (extension workload).
+//!
+//! An asynchronous work-list peel: when a vertex's degree drops below
+//! `k`, it dies and decrements its neighbors — which may die immediately,
+//! in the same pass, on whatever thread observes them. There are no
+//! rounds and no per-round full-degree recomputation; contrast with the
+//! bulk `lagraph::kcore` whose round count equals the peeling depth.
+
+use graph::{CsrGraph, NodeId};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Result of the graph-API k-core computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KcoreResult {
+    /// Whether each vertex belongs to the k-core.
+    pub in_core: Vec<bool>,
+    /// Directed edges remaining in the core.
+    pub edges_remaining: usize,
+    /// Work items processed (initial + cascaded removals).
+    pub work_items: u64,
+}
+
+/// Computes the k-core of a **symmetric, loop-free** graph.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn kcore(g: &CsrGraph, k: u32) -> KcoreResult {
+    assert!(k > 0, "k-core requires k >= 1");
+    let n = g.num_nodes();
+    // Degree counters; a vertex is dead once its counter drops below k
+    // (set to a large negative to make death idempotent).
+    let deg: Vec<AtomicI64> = (0..n as u32)
+        .map(|v| AtomicI64::new(g.out_degree(v) as i64))
+        .collect();
+    let work = galois_rt::ReduceSum::new();
+
+    // Seed: every vertex already below the threshold.
+    let seeds: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| g.out_degree(v) < k as usize)
+        .collect();
+
+    galois_rt::for_each(seeds, |v, ctx| {
+        work.add(1);
+        // Claim death exactly once.
+        let prev = deg[v as usize].swap(i64::MIN / 2, Ordering::Relaxed);
+        if prev < 0 || prev >= i64::from(k) {
+            // Already dead, or resurrected state (cannot happen: degrees
+            // only decrease) — either way nothing to do.
+            if prev >= i64::from(k) {
+                // Undo an erroneous claim (stale push after the vertex
+                // regained nothing; degrees never increase, so `prev`
+                // below k is guaranteed for genuine pushes — this branch
+                // only guards against duplicate seeds).
+                deg[v as usize].store(prev, Ordering::Relaxed);
+            }
+            return;
+        }
+        for e in g.edge_range(v) {
+            let u = g.edge_dst(e) as usize;
+            perfmon::instr(2);
+            perfmon::touch_ref(&deg[u]);
+            let before = deg[u].fetch_sub(1, Ordering::Relaxed);
+            // The decrement that crosses the threshold schedules the
+            // removal — immediately visible, no rounds.
+            if before == i64::from(k) {
+                ctx.push(u as NodeId);
+            }
+        }
+    });
+
+    let in_core: Vec<bool> = deg
+        .iter()
+        .map(|d| d.load(Ordering::Relaxed) >= i64::from(k))
+        .collect();
+    let edges_remaining = (0..n as NodeId)
+        .filter(|&v| in_core[v as usize])
+        .map(|v| g.neighbors(v).filter(|&u| in_core[u as usize]).count())
+        .sum();
+    KcoreResult {
+        in_core,
+        edges_remaining,
+        work_items: work.reduce(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::builder::GraphBuilder;
+    use graph::transform::symmetrize;
+
+    fn sym(edges: &[(u32, u32)], n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(s, d) in edges {
+            b.push_edge(s, d, 1);
+        }
+        symmetrize(&b.build())
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = sym(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], 5);
+        let r = kcore(&g, 2);
+        assert_eq!(r.in_core, vec![true, true, true, false, false]);
+        assert_eq!(r.edges_remaining, 6);
+    }
+
+    #[test]
+    fn cascading_removal_through_a_path() {
+        let n = 30;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = sym(&edges, n as usize);
+        let r = kcore(&g, 2);
+        assert!(r.in_core.iter().all(|&x| !x));
+        assert_eq!(r.work_items, u64::from(n), "every vertex peels exactly once");
+    }
+
+    #[test]
+    fn matches_lagraph_on_random_graphs() {
+        for seed in 0..4 {
+            let g = symmetrize(&graph::gen::erdos_renyi(250, 900, seed));
+            for k in [2, 3, 4] {
+                let ls = kcore(&g, k);
+                let gb = lagraph::kcore::kcore(&g, k, graphblas::GaloisRuntime).unwrap();
+                assert_eq!(ls.in_core, gb.in_core, "seed {seed} k {k}");
+                assert_eq!(ls.edges_remaining, gb.edges_remaining, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn clique_survives_exactly_to_its_degree() {
+        let g = sym(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 4);
+        assert!(kcore(&g, 3).in_core.iter().all(|&x| x));
+        assert!(kcore(&g, 4).in_core.iter().all(|&x| !x));
+    }
+}

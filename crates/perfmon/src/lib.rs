@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # perfmon — software performance monitoring
+//!
+//! The paper collects hardware counters (instruction counts and
+//! L1/L2/L3/DRAM access counts) with Intel CapeScripts to explain *why*
+//! matrix-based programs are slower (Tables IV and V). Hardware counters
+//! are not portable, so this crate provides a software model with the same
+//! observable quantities:
+//!
+//! * [`instr`] — an instruction-count estimate, bumped by instrumented
+//!   kernels at operator granularity;
+//! * [`touch`] / [`touch_ref`] — a memory access, fed through a per-thread
+//!   three-level set-associative [cache model](cache) whose hit/miss
+//!   cascade yields L1/L2/L3/DRAM access counts;
+//! * [`alloc::TrackingAllocator`] — a `#[global_allocator]` wrapper that
+//!   records peak live bytes, standing in for the paper's maximum resident
+//!   set size (Table III).
+//!
+//! Monitoring is off by default; [`enable`] turns the hooks on. The hooks
+//! are left compiled into the hot kernels (a single relaxed atomic load
+//! when disabled), so timing runs and counter runs execute the same code.
+//!
+//! ## Example
+//!
+//! ```
+//! perfmon::reset();
+//! perfmon::enable(true);
+//! let data = vec![1u64; 1024];
+//! let mut sum = 0;
+//! for x in &data {
+//!     perfmon::instr(1);
+//!     perfmon::touch_ref(x);
+//!     sum += *x;
+//! }
+//! perfmon::enable(false);
+//! let counters = perfmon::snapshot();
+//! assert_eq!(sum, 1024);
+//! assert_eq!(counters.instructions, 1024);
+//! assert_eq!(counters.l1_accesses, 1024);
+//! // 1024 consecutive u64 span 128 cache lines (129 if the allocation is
+//! // not line-aligned): each cold line is one L1 miss turned L2 access.
+//! assert!(counters.l2_accesses == 128 || counters.l2_accesses == 129);
+//! ```
+
+pub mod alloc;
+pub mod cache;
+pub mod counters;
+pub mod report;
+
+pub use counters::{enable, enabled, instr, reset, snapshot, touch, touch_ref, Counters};
+pub use report::PerfReport;

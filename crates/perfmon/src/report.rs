@@ -1,0 +1,125 @@
+//! Formatting of counter measurements in the style of Tables IV and V.
+
+use crate::counters::Counters;
+
+/// A labelled counter measurement plus helpers for the "ratio" rows the
+/// paper reports (e.g. GB / LS per counter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Label, e.g. `"bfs road-USA GB"`.
+    pub label: String,
+    /// The measured counters.
+    pub counters: Counters,
+}
+
+impl PerfReport {
+    /// Wraps counters under a label.
+    pub fn new(label: impl Into<String>, counters: Counters) -> Self {
+        PerfReport {
+            label: label.into(),
+            counters,
+        }
+    }
+
+    /// Per-counter ratios `self / other`, the quantity Tables IV/V print.
+    ///
+    /// Counters that are zero in `other` yield `f64::INFINITY` when the
+    /// numerator is non-zero and `1.0` when both are zero.
+    pub fn ratio(&self, other: &PerfReport) -> CounterRatios {
+        fn div(a: u64, b: u64) -> f64 {
+            match (a, b) {
+                (0, 0) => 1.0,
+                (_, 0) => f64::INFINITY,
+                (a, b) => a as f64 / b as f64,
+            }
+        }
+        let s = &self.counters;
+        let o = &other.counters;
+        CounterRatios {
+            instructions: div(s.instructions, o.instructions),
+            l1: div(s.l1_accesses, o.l1_accesses),
+            l2: div(s.l2_accesses, o.l2_accesses),
+            l3: div(s.l3_accesses, o.l3_accesses),
+            dram: div(s.dram_accesses, o.dram_accesses),
+        }
+    }
+}
+
+impl std::fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.counters;
+        write!(
+            f,
+            "{:<28} instr {:>14}  L1 {:>14}  L2 {:>13}  L3 {:>12}  DRAM {:>12}",
+            self.label, c.instructions, c.l1_accesses, c.l2_accesses, c.l3_accesses, c.dram_accesses
+        )
+    }
+}
+
+/// Per-counter ratio between two measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterRatios {
+    /// Instruction-count ratio.
+    pub instructions: f64,
+    /// L1-access ratio.
+    pub l1: f64,
+    /// L2-access ratio.
+    pub l2: f64,
+    /// L3-access ratio.
+    pub l3: f64,
+    /// DRAM-access ratio.
+    pub dram: f64,
+}
+
+impl std::fmt::Display for CounterRatios {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "instr {:>6.2}x  L1 {:>6.2}x  L2 {:>6.2}x  L3 {:>6.2}x  DRAM {:>6.2}x",
+            self.instructions, self.l1, self.l2, self.l3, self.dram
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(i: u64, l1: u64, l2: u64, l3: u64, d: u64) -> Counters {
+        Counters {
+            instructions: i,
+            l1_accesses: l1,
+            l2_accesses: l2,
+            l3_accesses: l3,
+            dram_accesses: d,
+        }
+    }
+
+    #[test]
+    fn ratios_divide_per_counter() {
+        let gb = PerfReport::new("gb", counters(200, 100, 50, 20, 10));
+        let ls = PerfReport::new("ls", counters(100, 50, 25, 10, 5));
+        let r = gb.ratio(&ls);
+        assert_eq!(r.instructions, 2.0);
+        assert_eq!(r.l1, 2.0);
+        assert_eq!(r.dram, 2.0);
+    }
+
+    #[test]
+    fn zero_denominators_are_handled() {
+        let a = PerfReport::new("a", counters(1, 0, 0, 0, 0));
+        let b = PerfReport::new("b", counters(0, 0, 0, 0, 0));
+        let r = a.ratio(&b);
+        assert_eq!(r.instructions, f64::INFINITY);
+        assert_eq!(r.l1, 1.0);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let rep = PerfReport::new("bfs GB", counters(1, 2, 3, 4, 5));
+        let s = rep.to_string();
+        for needle in ["bfs GB", "1", "2", "3", "4", "5"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Integration: every system computes verified results on every study
+//! graph shape (at test scale).
+
+use graph_api_study::graph::{Scale, StudyGraph};
+use graph_api_study::study_core::{run, verify, PreparedGraph, Problem, System};
+
+fn check_all_problems(which: StudyGraph) {
+    let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
+    for problem in Problem::all() {
+        for system in System::all() {
+            let out = run(system, problem, &p);
+            verify::verify(&p, problem, &out).unwrap_or_else(|e| {
+                panic!("{system} {problem} on {}: {e}", p.name);
+            });
+        }
+    }
+}
+
+#[test]
+fn road_network_shape() {
+    check_all_problems(StudyGraph::RoadUsaW);
+}
+
+#[test]
+fn power_law_shape() {
+    check_all_problems(StudyGraph::Rmat22);
+}
+
+#[test]
+fn web_crawl_shape() {
+    check_all_problems(StudyGraph::Uk07);
+}
+
+#[test]
+fn social_network_shape() {
+    check_all_problems(StudyGraph::Twitter40);
+}
+
+#[test]
+fn undirected_social_shape() {
+    check_all_problems(StudyGraph::Friendster);
+}
+
+#[test]
+fn dense_community_shape() {
+    check_all_problems(StudyGraph::Eukarya);
+}
