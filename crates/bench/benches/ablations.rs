@@ -2,7 +2,8 @@
 //! Figure 3's variants (pr layouts, tc algorithms, cc algorithms, sssp
 //! tiling) plus vector-representation and Afforest-sampling ablations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use substrate::bench::{BenchmarkId, Criterion};
+use substrate::{criterion_group, criterion_main};
 use graph::{Scale, StudyGraph};
 use study_core::runner::run_variant;
 use study_core::{PreparedGraph, Problem, Variant};

@@ -2,7 +2,8 @@
 //! kernel family. These isolate the per-call costs (extra passes,
 //! materialization) that the application-level tables aggregate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use substrate::bench::{BenchmarkId, Criterion};
+use substrate::{criterion_group, criterion_main};
 use graphblas::binops::{LorLand, Min, MinPlus, Plus, PlusPair, PlusTimes, Times};
 use graphblas::{ops, Descriptor, GaloisRuntime, Matrix, MethodHint, StaticRuntime, Vector};
 

@@ -2,7 +2,8 @@
 //! (problem, system) pair on a small study graph, giving statistically
 //! sound per-application timings to complement the `table2` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use substrate::bench::{BenchmarkId, Criterion};
+use substrate::{criterion_group, criterion_main};
 use graph::{Scale, StudyGraph};
 use study_core::{run, PreparedGraph, Problem, System};
 

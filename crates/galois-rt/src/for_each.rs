@@ -8,8 +8,8 @@
 //! paper says a matrix-based API cannot express.
 
 use crate::pool::{global_pool, threads};
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use substrate::deque::{Injector, Steal, Stealer, Worker};
 
 /// Handle passed to a [`for_each`] operator for generating new work.
 ///
@@ -80,9 +80,9 @@ where
 
     let workers: Vec<Worker<T>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<T>> = workers.iter().map(|w| w.stealer()).collect();
-    let workers: Vec<parking_lot::Mutex<Option<Worker<T>>>> = workers
+    let workers: Vec<substrate::sync::Mutex<Option<Worker<T>>>> = workers
         .into_iter()
-        .map(|w| parking_lot::Mutex::new(Some(w)))
+        .map(|w| substrate::sync::Mutex::new(Some(w)))
         .collect();
 
     global_pool().region(nthreads, |tid| {

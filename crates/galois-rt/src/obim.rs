@@ -9,10 +9,10 @@
 //! SSSP needs (`sssp-ls` in the paper).
 
 use crate::pool::{global_pool, threads};
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use substrate::sync::Mutex;
 
 /// Items drawn from the global bucket map per lock acquisition.
 const BATCH: usize = 128;

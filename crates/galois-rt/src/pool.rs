@@ -9,10 +9,10 @@
 //! parallel construct in this crate ([`crate::do_all()`], [`crate::for_each()`],
 //! [`crate::for_each_ordered`]) is built on top of it.
 
-use parking_lot::{Condvar, Mutex};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use substrate::sync::{Condvar, Mutex};
 
 /// Type-erased pointer to the closure executed by a region.
 ///

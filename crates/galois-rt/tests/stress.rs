@@ -1,9 +1,13 @@
 //! Stress and property tests of the runtime: exactness of work counts
 //! under churn, termination of the data-driven executors, and mixed
 //! construct sequences.
+//!
+//! The property tests run on the in-tree harness (`substrate::prop`);
+//! set `STUDY_PROP_SEED` to replay a reported failure.
 
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use substrate::prop;
+use substrate::{prop_assert, prop_assert_eq};
 
 #[test]
 fn alternating_constructs_do_not_wedge() {
@@ -70,60 +74,126 @@ fn reducers_survive_reuse_across_regions() {
     assert_eq!(sum.reduce(), 10_000);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// OBIM smoke test on the substrate locks: with one thread and no pushes,
+/// buckets must drain in strictly ascending priority order, and the lock
+/// wrappers must not reorder or drop items.
+#[test]
+fn obim_single_thread_priority_order_smoke() {
+    let saved = galois_rt::threads();
+    galois_rt::set_threads(1);
+    let order = substrate::sync::Mutex::new(Vec::new());
+    let items: Vec<u64> = (0..500).map(|i| (i * 37) % 97).collect();
+    galois_rt::for_each_ordered(items.clone(), |&x| x, |x, _| {
+        order.lock().push(x);
+    });
+    galois_rt::set_threads(saved);
+    let order = order.into_inner();
+    assert_eq!(order.len(), items.len(), "every item processed once");
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(order, sorted, "single-thread OBIM drains by priority");
+}
 
-    #[test]
-    fn do_all_sums_arbitrary_ranges(start in 0usize..1000, len in 0usize..5000) {
-        let sum = AtomicU64::new(0);
-        galois_rt::do_all(start..start + len, |i| {
-            sum.fetch_add(i as u64, Ordering::Relaxed);
-        });
-        let expected: u64 = (start..start + len).map(|x| x as u64).sum();
-        prop_assert_eq!(sum.into_inner(), expected);
-    }
-
-    #[test]
-    fn for_each_processes_each_pushed_item_once(fanouts in proptest::collection::vec(0usize..4, 1..200)) {
-        // item i pushes `fanouts[i]` children (leaf children).
-        let processed = AtomicUsize::new(0);
-        let fanouts_ref = &fanouts;
-        galois_rt::for_each(0..fanouts.len(), |x, ctx| {
-            processed.fetch_add(1, Ordering::Relaxed);
-            if x < fanouts_ref.len() {
-                for _ in 0..fanouts_ref[x] {
-                    ctx.push(usize::MAX); // leaf marker
-                }
+/// Contention stress for the work-stealing deque behind `for_each`: many
+/// producers expanding a tree must process each node exactly once, so a
+/// lost or duplicated steal shows up as a count mismatch.
+#[test]
+fn for_each_tree_expansion_is_exactly_once() {
+    // Perfect 4-ary tree of depth 7 rooted at 64 initial items: the
+    // stealing traffic is highest near the leaves where every thread's
+    // local deque churns.
+    let hits = AtomicUsize::new(0);
+    galois_rt::for_each((0..64u32).map(|_| 0u32), |depth, ctx| {
+        hits.fetch_add(1, Ordering::Relaxed);
+        if depth < 7 {
+            for _ in 0..4 {
+                ctx.push(depth + 1);
             }
-        });
-        let expected = fanouts.len() + fanouts.iter().sum::<usize>();
-        prop_assert_eq!(processed.into_inner(), expected);
-    }
+        }
+    });
+    // 64 roots, each expanding into (4^8 - 1) / 3 nodes.
+    let per_root: usize = (0..=7).map(|d| 4usize.pow(d)).sum();
+    assert_eq!(hits.into_inner(), 64 * per_root);
+}
 
-    #[test]
-    fn obim_respects_item_count_with_random_priorities(
-        prios in proptest::collection::vec(0u64..20, 1..500)
-    ) {
-        let count = AtomicUsize::new(0);
-        let prios_ref = &prios;
-        galois_rt::for_each_ordered(
-            0..prios.len(),
-            |&i| prios_ref[i],
-            |_, _| {
-                count.fetch_add(1, Ordering::Relaxed);
-            },
-        );
-        prop_assert_eq!(count.into_inner(), prios.len());
-    }
+#[test]
+fn do_all_sums_arbitrary_ranges() {
+    prop::check(
+        "do_all_sums_arbitrary_ranges",
+        prop::cases(16),
+        |g| (g.gen_range(0..1000usize), g.gen_range(0..5000usize)),
+        |&(start, len)| {
+            let sum = AtomicU64::new(0);
+            galois_rt::do_all(start..start + len, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            let expected: u64 = (start..start + len).map(|x| x as u64).sum();
+            prop_assert_eq!(sum.into_inner(), expected);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn insert_bag_collects_all_parallel_pushes(n in 1usize..20_000) {
-        let bag = galois_rt::InsertBag::new();
-        galois_rt::do_all(0..n, |i| bag.push(i as u64));
-        let mut bag = bag;
-        prop_assert_eq!(bag.len(), n);
-        let mut v = bag.into_vec();
-        v.sort_unstable();
-        prop_assert!(v.iter().copied().eq(0..n as u64));
-    }
+#[test]
+fn for_each_processes_each_pushed_item_once() {
+    prop::check(
+        "for_each_processes_each_pushed_item_once",
+        prop::cases(16),
+        |g| g.vec(1..200, |g| g.gen_range(0..4usize)),
+        |fanouts| {
+            // item i pushes `fanouts[i]` children (leaf children).
+            let processed = AtomicUsize::new(0);
+            galois_rt::for_each(0..fanouts.len(), |x, ctx| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                if x < fanouts.len() {
+                    for _ in 0..fanouts[x] {
+                        ctx.push(usize::MAX); // leaf marker
+                    }
+                }
+            });
+            let expected = fanouts.len() + fanouts.iter().sum::<usize>();
+            prop_assert_eq!(processed.into_inner(), expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn obim_respects_item_count_with_random_priorities() {
+    prop::check(
+        "obim_respects_item_count_with_random_priorities",
+        prop::cases(16),
+        |g| g.vec(1..500, |g| g.gen_range(0..20u64)),
+        |prios| {
+            let count = AtomicUsize::new(0);
+            galois_rt::for_each_ordered(
+                0..prios.len(),
+                |&i| prios[i],
+                |_, _| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            prop_assert_eq!(count.into_inner(), prios.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn insert_bag_collects_all_parallel_pushes() {
+    prop::check(
+        "insert_bag_collects_all_parallel_pushes",
+        prop::cases(16),
+        |g| g.gen_range(1..20_000usize),
+        |&n| {
+            let bag = galois_rt::InsertBag::new();
+            galois_rt::do_all(0..n, |i| bag.push(i as u64));
+            let mut bag = bag;
+            prop_assert_eq!(bag.len(), n);
+            let mut v = bag.into_vec();
+            v.sort_unstable();
+            prop_assert!(v.iter().copied().eq(0..n as u64), "bag holds 0..{n}");
+            Ok(())
+        },
+    );
 }

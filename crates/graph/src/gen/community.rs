@@ -7,8 +7,7 @@
 //! weighted edges in both directions.
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Generates a weighted community graph with `n` vertices and communities
 /// of average size `avg_community`.
@@ -24,17 +23,15 @@ pub fn community(n: usize, avg_community: usize, seed: u64) -> CsrGraph {
     assert!(n > 0, "graph must be non-empty");
     assert!(avg_community >= 2, "communities need at least two members");
     assert!(n <= NodeId::MAX as usize, "graph too large for NodeId");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = crate::builder::GraphBuilder::with_capacity(n, n * avg_community * 2)
         .weighted(true)
         .dedup(true);
     // Two passes of community cover => ~2 memberships per vertex.
     for _pass in 0..2 {
         let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        // Fisher-Yates shuffle for a random community assignment.
-        for i in (1..n).rev() {
-            order.swap(i, rng.gen_range(0..=i));
-        }
+        // Random community assignment via a full shuffle.
+        rng.shuffle(&mut order);
         let mut start = 0usize;
         while start < n {
             let size = rng

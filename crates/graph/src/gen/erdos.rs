@@ -2,8 +2,7 @@
 //! baseline in tests and property checks.
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Generates a directed graph with `n` vertices and `m` uniformly random
 /// edges (duplicates and self loops possible, as in G(n, m) multigraphs).
@@ -14,7 +13,7 @@ use rand::{Rng, SeedableRng};
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(n > 0, "graph must be non-empty");
     assert!(n <= NodeId::MAX as usize, "graph too large for NodeId");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = crate::builder::GraphBuilder::with_capacity(n, m);
     for _ in 0..m {
         let s = rng.gen_range(0..n) as NodeId;

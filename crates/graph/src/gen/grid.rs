@@ -7,8 +7,7 @@
 //! executions need a number of rounds proportional to the diameter.
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Generates a `width × height` grid road network.
 ///
@@ -27,7 +26,7 @@ pub fn grid_road(width: usize, height: usize, seed: u64) -> CsrGraph {
         .checked_mul(height)
         .filter(|&n| n <= NodeId::MAX as usize)
         .expect("grid too large for NodeId");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let id = |x: usize, y: usize| (y * width + x) as NodeId;
     let mut b = crate::builder::GraphBuilder::with_capacity(n, 4 * n).weighted(true);
     for y in 0..height {

@@ -6,8 +6,7 @@
 //! vertices chosen proportionally to their current degree.
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Generates a preferential-attachment graph with `n` vertices, each new
 /// vertex adding `m` edges.
@@ -23,7 +22,7 @@ use rand::{Rng, SeedableRng};
 pub fn preferential_attachment(n: usize, m: usize, directed: bool, seed: u64) -> CsrGraph {
     assert!(m > 0, "attachment count must be positive");
     assert!(n > m, "need more vertices than attachments");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     // `targets` holds one entry per edge endpoint, so sampling uniformly
     // from it is sampling proportional to degree.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);

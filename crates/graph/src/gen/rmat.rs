@@ -5,8 +5,7 @@
 //! Faloutsos, SDM 2004).
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Quadrant probabilities of the RMAT recursion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,15 +48,15 @@ pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Cs
     );
     let n = 1usize << scale;
     let m = edge_factor * n;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = crate::builder::GraphBuilder::with_capacity(n, m);
     for _ in 0..m {
         let (mut src, mut dst) = (0usize, 0usize);
         for level in (0..scale).rev() {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             // Slightly perturb the quadrant probabilities per level, the
             // standard trick to avoid exactly self-similar artefacts.
-            let noise = 1.0 + 0.1 * (rng.gen::<f64>() - 0.5);
+            let noise = 1.0 + 0.1 * (rng.gen_f64() - 0.5);
             let a = params.a * noise;
             let b = params.b * noise;
             let c = params.c * noise;

@@ -10,8 +10,7 @@
 //! and a few cross-host links connect front pages.
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use substrate::rng::Rng;
 
 /// Generates a directed web-crawl-like graph with `hosts * pages_per_host`
 /// vertices.
@@ -24,7 +23,7 @@ pub fn web_crawl(hosts: usize, pages_per_host: usize, seed: u64) -> CsrGraph {
     assert!(pages_per_host >= 2, "hosts need at least two pages");
     let n = hosts * pages_per_host;
     assert!(n <= NodeId::MAX as usize, "graph too large for NodeId");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = crate::builder::GraphBuilder::with_capacity(n, n * 8);
     // Sliding window width for the intra-host cliques.
     let window = 6.min(pages_per_host - 1);

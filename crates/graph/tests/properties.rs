@@ -1,130 +1,188 @@
 //! Property-based tests of the graph substrate: CSR invariants,
 //! transform laws and serialization round trips on arbitrary graphs.
+//!
+//! Runs on the in-tree harness (`substrate::prop`); set `STUDY_PROP_SEED`
+//! to replay a reported failure.
 
 use graph::builder::GraphBuilder;
 use graph::transform::{lower_triangular, sort_by_degree, symmetrize, transpose, upper_triangular};
 use graph::CsrGraph;
-use proptest::prelude::*;
+use substrate::prop::{self, Gen};
+use substrate::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (
-        1usize..50,
-        proptest::collection::vec((0u32..50, 0u32..50, 1u32..100), 0..200),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(n, edges, weighted)| {
-            let mut b = GraphBuilder::new(n).weighted(weighted);
-            for (s, d, w) in edges {
-                b.push_edge(s % n as u32, d % n as u32, w);
-            }
-            b.build()
-        })
+const CASES: u32 = 48;
+
+fn arb_graph(g: &mut Gen) -> CsrGraph {
+    let n = g.gen_range(1usize..50);
+    let edges = g.vec(0..200, |g| {
+        (
+            g.gen_range(0u32..50),
+            g.gen_range(0u32..50),
+            g.gen_range(1u32..100),
+        )
+    });
+    let weighted = g.gen_bool(0.5);
+    let mut b = GraphBuilder::new(n).weighted(weighted);
+    for (s, d, w) in edges {
+        b.push_edge(s % n as u32, d % n as u32, w);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn csr_offsets_are_consistent(g in arb_graph()) {
+#[test]
+fn csr_offsets_are_consistent() {
+    prop::check("csr_offsets_are_consistent", prop::cases(CASES), arb_graph, |g| {
         let total: usize = (0..g.num_nodes() as u32).map(|v| g.out_degree(v)).sum();
         prop_assert_eq!(total, g.num_edges());
         for v in 0..g.num_nodes() as u32 {
-            prop_assert!(g.neighbor_slice(v).windows(2).all(|w| w[0] <= w[1]),
-                "neighbor lists are sorted");
+            prop_assert!(
+                g.neighbor_slice(v).windows(2).all(|w| w[0] <= w[1]),
+                "neighbor lists are sorted"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transpose_preserves_edge_multiset(g in arb_graph()) {
-        let t = transpose(&g);
-        prop_assert_eq!(t.num_edges(), g.num_edges());
-        let mut fwd: Vec<(u32, u32, u32)> = Vec::new();
-        for v in 0..g.num_nodes() as u32 {
-            for e in g.edge_range(v) {
-                fwd.push((v, g.edge_dst(e), g.edge_weight(e)));
+#[test]
+fn transpose_preserves_edge_multiset() {
+    prop::check(
+        "transpose_preserves_edge_multiset",
+        prop::cases(CASES),
+        arb_graph,
+        |g| {
+            let t = transpose(g);
+            prop_assert_eq!(t.num_edges(), g.num_edges());
+            let mut fwd: Vec<(u32, u32, u32)> = Vec::new();
+            for v in 0..g.num_nodes() as u32 {
+                for e in g.edge_range(v) {
+                    fwd.push((v, g.edge_dst(e), g.edge_weight(e)));
+                }
             }
-        }
-        let mut rev: Vec<(u32, u32, u32)> = Vec::new();
-        for v in 0..t.num_nodes() as u32 {
-            for e in t.edge_range(v) {
-                rev.push((t.edge_dst(e), v, t.edge_weight(e)));
+            let mut rev: Vec<(u32, u32, u32)> = Vec::new();
+            for v in 0..t.num_nodes() as u32 {
+                for e in t.edge_range(v) {
+                    rev.push((t.edge_dst(e), v, t.edge_weight(e)));
+                }
             }
-        }
-        fwd.sort_unstable();
-        rev.sort_unstable();
-        prop_assert_eq!(fwd, rev);
-    }
+            fwd.sort_unstable();
+            rev.sort_unstable();
+            prop_assert_eq!(fwd, rev);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn transpose_involution(g in arb_graph()) {
-        prop_assert_eq!(transpose(&transpose(&g)), g);
-    }
+#[test]
+fn transpose_involution() {
+    prop::check("transpose_involution", prop::cases(CASES), arb_graph, |g| {
+        prop_assert_eq!(&transpose(&transpose(g)), g);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn symmetrize_is_idempotent_and_mutual(g in arb_graph()) {
-        let s = symmetrize(&g);
-        prop_assert_eq!(symmetrize(&s), s.clone());
-        for v in 0..s.num_nodes() as u32 {
-            for u in s.neighbors(v) {
-                prop_assert_ne!(u, v, "no self loops");
-                prop_assert!(s.neighbors(u).any(|x| x == v), "edges are mutual");
+#[test]
+fn symmetrize_is_idempotent_and_mutual() {
+    prop::check(
+        "symmetrize_is_idempotent_and_mutual",
+        prop::cases(CASES),
+        arb_graph,
+        |g| {
+            let s = symmetrize(g);
+            prop_assert_eq!(symmetrize(&s), s.clone());
+            for v in 0..s.num_nodes() as u32 {
+                for u in s.neighbors(v) {
+                    prop_assert_ne!(u, v, "no self loops");
+                    prop_assert!(s.neighbors(u).any(|x| x == v), "edges are mutual");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn triangular_halves_partition_symmetric_graphs(g in arb_graph()) {
-        let s = symmetrize(&g);
-        let u = upper_triangular(&s);
-        let l = lower_triangular(&s);
-        prop_assert_eq!(u.num_edges() + l.num_edges(), s.num_edges());
-        prop_assert_eq!(u.num_edges(), l.num_edges(), "mutual edges split evenly");
-    }
+#[test]
+fn triangular_halves_partition_symmetric_graphs() {
+    prop::check(
+        "triangular_halves_partition_symmetric_graphs",
+        prop::cases(CASES),
+        arb_graph,
+        |g| {
+            let s = symmetrize(g);
+            let u = upper_triangular(&s);
+            let l = lower_triangular(&s);
+            prop_assert_eq!(u.num_edges() + l.num_edges(), s.num_edges());
+            prop_assert_eq!(u.num_edges(), l.num_edges(), "mutual edges split evenly");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn degree_sort_is_a_relabeling(g in arb_graph()) {
-        let (sorted, perm) = sort_by_degree(&g);
-        prop_assert_eq!(sorted.num_nodes(), g.num_nodes());
-        prop_assert_eq!(sorted.num_edges(), g.num_edges());
-        // perm is a permutation.
-        let mut seen = vec![false; g.num_nodes()];
-        for &p in &perm {
-            prop_assert!(!seen[p as usize], "duplicate target in perm");
-            seen[p as usize] = true;
-        }
-        // Degrees are non-decreasing in the new ids.
-        let degs: Vec<usize> =
-            (0..sorted.num_nodes() as u32).map(|v| sorted.out_degree(v)).collect();
-        prop_assert!(degs.windows(2).all(|w| w[0] <= w[1]));
-        // Each vertex keeps its degree through the relabeling.
-        for v in 0..g.num_nodes() as u32 {
-            prop_assert_eq!(g.out_degree(v), sorted.out_degree(perm[v as usize]));
-        }
-    }
+#[test]
+fn degree_sort_is_a_relabeling() {
+    prop::check(
+        "degree_sort_is_a_relabeling",
+        prop::cases(CASES),
+        arb_graph,
+        |g| {
+            let (sorted, perm) = sort_by_degree(g);
+            prop_assert_eq!(sorted.num_nodes(), g.num_nodes());
+            prop_assert_eq!(sorted.num_edges(), g.num_edges());
+            // perm is a permutation.
+            let mut seen = vec![false; g.num_nodes()];
+            for &p in &perm {
+                prop_assert!(!seen[p as usize], "duplicate target in perm");
+                seen[p as usize] = true;
+            }
+            // Degrees are non-decreasing in the new ids.
+            let degs: Vec<usize> =
+                (0..sorted.num_nodes() as u32).map(|v| sorted.out_degree(v)).collect();
+            prop_assert!(degs.windows(2).all(|w| w[0] <= w[1]));
+            // Each vertex keeps its degree through the relabeling.
+            for v in 0..g.num_nodes() as u32 {
+                prop_assert_eq!(g.out_degree(v), sorted.out_degree(perm[v as usize]));
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn edge_list_round_trip(g in arb_graph()) {
+#[test]
+fn edge_list_round_trip() {
+    prop::check("edge_list_round_trip", prop::cases(CASES), arb_graph, |g| {
         let mut buf = Vec::new();
-        graph::io::write_edge_list(&g, &mut buf).unwrap();
+        graph::io::write_edge_list(g, &mut buf).unwrap();
         let h = graph::io::read_edge_list(&buf[..], Some(g.num_nodes())).unwrap();
-        prop_assert_eq!(g, h);
-    }
+        prop_assert_eq!(g, &h);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn binary_round_trip(g in arb_graph()) {
+#[test]
+fn binary_round_trip() {
+    prop::check("binary_round_trip", prop::cases(CASES), arb_graph, |g| {
         let mut buf = Vec::new();
-        graph::io::write_binary(&g, &mut buf).unwrap();
+        graph::io::write_binary(g, &mut buf).unwrap();
         let h = graph::io::read_binary(&buf[..]).unwrap();
-        prop_assert_eq!(g, h);
-    }
+        prop_assert_eq!(g, &h);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn random_weights_cover_range(g in arb_graph(), max_w in 1u32..1000, seed in 0u64..100) {
-        let w = g.clone().with_random_weights(max_w, seed);
-        prop_assert!(w.is_weighted());
-        for e in 0..w.num_edges() {
-            let x = w.edge_weight(e);
-            prop_assert!(x >= 1 && x <= max_w);
-        }
-    }
+#[test]
+fn random_weights_cover_range() {
+    prop::check(
+        "random_weights_cover_range",
+        prop::cases(CASES),
+        |g| (arb_graph(g), g.gen_range(1u32..1000), g.gen_range(0u64..100)),
+        |(g, max_w, seed)| {
+            let w = g.clone().with_random_weights(*max_w, *seed);
+            prop_assert!(w.is_weighted());
+            for e in 0..w.num_edges() {
+                let x = w.edge_weight(e);
+                prop_assert!(x >= 1 && x <= *max_w);
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,31 +1,41 @@
 //! Property-based tests of the GraphBLAS kernels: method equivalences,
 //! algebraic identities and representation invariance on arbitrary sparse
 //! operands.
+//!
+//! Runs on the in-tree harness (`substrate::prop`); set `STUDY_PROP_SEED`
+//! to replay a reported failure.
 
 use graphblas::binops::{Min, Plus, PlusTimes, Times};
 use graphblas::{ops, Descriptor, GaloisRuntime, Matrix, MethodHint, StaticRuntime, Vector};
-use proptest::prelude::*;
+use substrate::prop::{self, Gen};
+use substrate::prop_assert_eq;
 
 const N: usize = 24;
+const CASES: u32 = 32;
 
-fn arb_matrix() -> impl Strategy<Value = Matrix<u64>> {
-    proptest::collection::vec((0u32..N as u32, 0u32..N as u32, 1u64..50), 0..80)
-        .prop_map(|t| Matrix::from_tuples(N, N, t, Plus).expect("in-range tuples"))
+fn arb_matrix(g: &mut Gen) -> Matrix<u64> {
+    let t = g.vec(0..80, |g| {
+        (
+            g.gen_range(0u32..N as u32),
+            g.gen_range(0u32..N as u32),
+            g.gen_range(1u64..50),
+        )
+    });
+    Matrix::from_tuples(N, N, t, Plus).expect("in-range tuples")
 }
 
-fn arb_vector() -> impl Strategy<Value = Vector<u64>> {
-    (
-        proptest::collection::btree_map(0u32..N as u32, 1u64..50, 0..N),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(m, dense)| {
-            let mut v =
-                Vector::from_entries(N, m.into_iter().collect()).expect("unique, in-range");
-            if dense {
-                v.to_dense();
-            }
-            v
-        })
+fn arb_vector(g: &mut Gen) -> Vector<u64> {
+    let entries = g.gen_range(0..N);
+    let mut m = std::collections::BTreeMap::new();
+    for _ in 0..entries {
+        m.insert(g.gen_range(0u32..N as u32), g.gen_range(1u64..50));
+    }
+    let dense = g.gen_bool(0.5);
+    let mut v = Vector::from_entries(N, m.into_iter().collect()).expect("unique, in-range");
+    if dense {
+        v.to_dense();
+    }
+    v
 }
 
 /// Dense reference product under plus_times.
@@ -49,137 +59,202 @@ fn dense_mxm(a: &Matrix<u64>, b: &Matrix<u64>) -> Vec<(u32, u32, u64)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn mxm_methods_agree_with_dense_reference() {
+    prop::check(
+        "mxm_methods_agree_with_dense_reference",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_matrix(g)),
+        |(a, b)| {
+            let expected = dense_mxm(a, b);
+            for method in [MethodHint::Gustavson, MethodHint::Hash] {
+                let c = ops::mxm(
+                    None::<&Matrix<bool>>,
+                    PlusTimes,
+                    a,
+                    b,
+                    &Descriptor::new().with_method(method),
+                    GaloisRuntime,
+                )
+                .unwrap();
+                prop_assert_eq!(c.to_tuples(), expected.clone(), "method {:?}", method);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn mxm_methods_agree_with_dense_reference(a in arb_matrix(), b in arb_matrix()) {
-        let expected = dense_mxm(&a, &b);
-        for method in [MethodHint::Gustavson, MethodHint::Hash] {
-            let c = ops::mxm(
-                None::<&Matrix<bool>>,
+#[test]
+fn masked_dot_agrees_with_masked_gustavson() {
+    prop::check(
+        "masked_dot_agrees_with_masked_gustavson",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_matrix(g), arb_matrix(g)),
+        |(a, b, m)| {
+            let desc_dot = Descriptor::new()
+                .with_method(MethodHint::Dot)
+                .with_mask_structural(true);
+            let desc_sax = Descriptor::new()
+                .with_method(MethodHint::Gustavson)
+                .with_mask_structural(true);
+            let dot = ops::mxm(Some(m), PlusTimes, a, b, &desc_dot, GaloisRuntime).unwrap();
+            let sax = ops::mxm(Some(m), PlusTimes, a, b, &desc_sax, GaloisRuntime).unwrap();
+            prop_assert_eq!(dot.to_tuples(), sax.to_tuples());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn vxm_equals_mxv_on_transpose() {
+    prop::check(
+        "vxm_equals_mxv_on_transpose",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_vector(g)),
+        |(a, u)| {
+            let mut push: Vector<u64> = Vector::new(N);
+            ops::vxm(
+                &mut push,
+                None::<&Vector<u64>>,
                 PlusTimes,
-                &a,
-                &b,
-                &Descriptor::new().with_method(method),
+                u,
+                a,
+                &Descriptor::new().with_replace(true),
                 GaloisRuntime,
             )
             .unwrap();
-            prop_assert_eq!(c.to_tuples(), expected.clone(), "method {:?}", method);
-        }
-    }
-
-    #[test]
-    fn masked_dot_agrees_with_masked_gustavson(a in arb_matrix(), b in arb_matrix(), m in arb_matrix()) {
-        let desc_dot = Descriptor::new()
-            .with_method(MethodHint::Dot)
-            .with_mask_structural(true);
-        let desc_sax = Descriptor::new()
-            .with_method(MethodHint::Gustavson)
-            .with_mask_structural(true);
-        let dot = ops::mxm(Some(&m), PlusTimes, &a, &b, &desc_dot, GaloisRuntime).unwrap();
-        let sax = ops::mxm(Some(&m), PlusTimes, &a, &b, &desc_sax, GaloisRuntime).unwrap();
-        prop_assert_eq!(dot.to_tuples(), sax.to_tuples());
-    }
-
-    #[test]
-    fn vxm_equals_mxv_on_transpose(a in arb_matrix(), u in arb_vector()) {
-        let mut push: Vector<u64> = Vector::new(N);
-        ops::vxm(
-            &mut push,
-            None::<&Vector<u64>>,
-            PlusTimes,
-            &u,
-            &a,
-            &Descriptor::new().with_replace(true),
-            GaloisRuntime,
-        )
-        .unwrap();
-        let at = a.transpose();
-        let mut pull: Vector<u64> = Vector::new(N);
-        ops::mxv(
-            &mut pull,
-            None::<&Vector<u64>>,
-            PlusTimes,
-            &at,
-            &u,
-            &Descriptor::new(),
-            StaticRuntime,
-        )
-        .unwrap();
-        prop_assert_eq!(push.entries(), pull.entries());
-    }
-
-    #[test]
-    fn transpose_is_involutive(a in arb_matrix()) {
-        prop_assert_eq!(a.transpose().transpose().to_tuples(), a.to_tuples());
-    }
-
-    #[test]
-    fn ewise_ops_are_commutative(u in arb_vector(), v in arb_vector()) {
-        for_commutative(&u, &v)?;
-    }
-
-    #[test]
-    fn select_partitions_entries(u in arb_vector(), threshold in 1u64..50) {
-        let mut lo: Vector<u64> = Vector::new(N);
-        let mut hi: Vector<u64> = Vector::new(N);
-        ops::select_vector(&mut lo, &u, |_, x| x < threshold, GaloisRuntime);
-        ops::select_vector(&mut hi, &u, |_, x| x >= threshold, GaloisRuntime);
-        prop_assert_eq!(lo.nvals() + hi.nvals(), u.nvals());
-        let mut merged: Vector<u64> = Vector::new(N);
-        ops::ewise_add(&mut merged, Plus, &lo, &hi, GaloisRuntime).unwrap();
-        prop_assert_eq!(merged.entries(), u.entries());
-    }
-
-    #[test]
-    fn reduce_matches_entry_sum(u in arb_vector()) {
-        let total = ops::reduce_vector(&u, Plus, GaloisRuntime);
-        let expected: u64 = u.entries().into_iter().map(|(_, x)| x).sum();
-        prop_assert_eq!(total, expected);
-    }
-
-    #[test]
-    fn store_representation_does_not_change_semantics(u in arb_vector(), v in arb_vector()) {
-        let (mut ud, mut vd) = (u.clone(), v.clone());
-        ud.to_dense();
-        vd.to_dense();
-        let (mut us, mut vs) = (u.clone(), v.clone());
-        us.to_sparse();
-        vs.to_sparse();
-        let mut a: Vector<u64> = Vector::new(N);
-        let mut b: Vector<u64> = Vector::new(N);
-        ops::ewise_mult(&mut a, Times, &ud, &vd, GaloisRuntime).unwrap();
-        ops::ewise_mult(&mut b, Times, &us, &vs, GaloisRuntime).unwrap();
-        prop_assert_eq!(a.entries(), b.entries());
-    }
-
-    #[test]
-    fn assign_then_extract_roundtrip(value in 1u64..100, mask in arb_vector()) {
-        let mut w: Vector<u64> = Vector::new(N);
-        ops::assign_scalar(&mut w, Some(&mask), value, &Descriptor::new(), GaloisRuntime)
+            let at = a.transpose();
+            let mut pull: Vector<u64> = Vector::new(N);
+            ops::mxv(
+                &mut pull,
+                None::<&Vector<u64>>,
+                PlusTimes,
+                &at,
+                u,
+                &Descriptor::new(),
+                StaticRuntime,
+            )
             .unwrap();
-        // Every mask entry (all values are non-zero) must now read back.
-        for (i, _) in mask.entries() {
-            prop_assert_eq!(w.get(i), Some(value));
-        }
-        prop_assert_eq!(w.nvals(), mask.nvals());
-    }
-
-    #[test]
-    fn backends_produce_identical_results(a in arb_matrix(), u in arb_vector()) {
-        let mut gb: Vector<u64> = Vector::new(N);
-        let mut ss: Vector<u64> = Vector::new(N);
-        let desc = Descriptor::new().with_replace(true);
-        ops::vxm(&mut gb, None::<&Vector<u64>>, PlusTimes, &u, &a, &desc, GaloisRuntime)
-            .unwrap();
-        ops::vxm(&mut ss, None::<&Vector<u64>>, PlusTimes, &u, &a, &desc, StaticRuntime)
-            .unwrap();
-        prop_assert_eq!(gb.entries(), ss.entries());
-    }
+            prop_assert_eq!(push.entries(), pull.entries());
+            Ok(())
+        },
+    );
 }
 
-fn for_commutative(u: &Vector<u64>, v: &Vector<u64>) -> Result<(), TestCaseError> {
+#[test]
+fn transpose_is_involutive() {
+    prop::check("transpose_is_involutive", prop::cases(CASES), arb_matrix, |a| {
+        prop_assert_eq!(a.transpose().transpose().to_tuples(), a.to_tuples());
+        Ok(())
+    });
+}
+
+#[test]
+fn ewise_ops_are_commutative() {
+    prop::check(
+        "ewise_ops_are_commutative",
+        prop::cases(CASES),
+        |g| (arb_vector(g), arb_vector(g)),
+        |(u, v)| for_commutative(u, v),
+    );
+}
+
+#[test]
+fn select_partitions_entries() {
+    prop::check(
+        "select_partitions_entries",
+        prop::cases(CASES),
+        |g| (arb_vector(g), g.gen_range(1u64..50)),
+        |(u, threshold)| {
+            let threshold = *threshold;
+            let mut lo: Vector<u64> = Vector::new(N);
+            let mut hi: Vector<u64> = Vector::new(N);
+            ops::select_vector(&mut lo, u, |_, x| x < threshold, GaloisRuntime);
+            ops::select_vector(&mut hi, u, |_, x| x >= threshold, GaloisRuntime);
+            prop_assert_eq!(lo.nvals() + hi.nvals(), u.nvals());
+            let mut merged: Vector<u64> = Vector::new(N);
+            ops::ewise_add(&mut merged, Plus, &lo, &hi, GaloisRuntime).unwrap();
+            prop_assert_eq!(merged.entries(), u.entries());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn reduce_matches_entry_sum() {
+    prop::check("reduce_matches_entry_sum", prop::cases(CASES), arb_vector, |u| {
+        let total = ops::reduce_vector(u, Plus, GaloisRuntime);
+        let expected: u64 = u.entries().into_iter().map(|(_, x)| x).sum();
+        prop_assert_eq!(total, expected);
+        Ok(())
+    });
+}
+
+#[test]
+fn store_representation_does_not_change_semantics() {
+    prop::check(
+        "store_representation_does_not_change_semantics",
+        prop::cases(CASES),
+        |g| (arb_vector(g), arb_vector(g)),
+        |(u, v)| {
+            let (mut ud, mut vd) = (u.clone(), v.clone());
+            ud.to_dense();
+            vd.to_dense();
+            let (mut us, mut vs) = (u.clone(), v.clone());
+            us.to_sparse();
+            vs.to_sparse();
+            let mut a: Vector<u64> = Vector::new(N);
+            let mut b: Vector<u64> = Vector::new(N);
+            ops::ewise_mult(&mut a, Times, &ud, &vd, GaloisRuntime).unwrap();
+            ops::ewise_mult(&mut b, Times, &us, &vs, GaloisRuntime).unwrap();
+            prop_assert_eq!(a.entries(), b.entries());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn assign_then_extract_roundtrip() {
+    prop::check(
+        "assign_then_extract_roundtrip",
+        prop::cases(CASES),
+        |g| (g.gen_range(1u64..100), arb_vector(g)),
+        |(value, mask)| {
+            let value = *value;
+            let mut w: Vector<u64> = Vector::new(N);
+            ops::assign_scalar(&mut w, Some(mask), value, &Descriptor::new(), GaloisRuntime)
+                .unwrap();
+            // Every mask entry (all values are non-zero) must now read back.
+            for (i, _) in mask.entries() {
+                prop_assert_eq!(w.get(i), Some(value));
+            }
+            prop_assert_eq!(w.nvals(), mask.nvals());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backends_produce_identical_results() {
+    prop::check(
+        "backends_produce_identical_results",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_vector(g)),
+        |(a, u)| {
+            let mut gb: Vector<u64> = Vector::new(N);
+            let mut ss: Vector<u64> = Vector::new(N);
+            let desc = Descriptor::new().with_replace(true);
+            ops::vxm(&mut gb, None::<&Vector<u64>>, PlusTimes, u, a, &desc, GaloisRuntime)
+                .unwrap();
+            ops::vxm(&mut ss, None::<&Vector<u64>>, PlusTimes, u, a, &desc, StaticRuntime)
+                .unwrap();
+            prop_assert_eq!(gb.entries(), ss.entries());
+            Ok(())
+        },
+    );
+}
+
+fn for_commutative(u: &Vector<u64>, v: &Vector<u64>) -> Result<(), String> {
     let mut ab: Vector<u64> = Vector::new(N);
     let mut ba: Vector<u64> = Vector::new(N);
     ops::ewise_add(&mut ab, Min, u, v, GaloisRuntime).unwrap();

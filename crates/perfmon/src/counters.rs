@@ -7,9 +7,9 @@
 //! counter, so reset does not need to stop other threads).
 
 use crate::cache::{CacheSim, HitLevel};
-use parking_lot::Mutex;
 use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use substrate::sync::Mutex;
 
 /// Aggregated counter values (one row of Table IV / Table V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,361 @@
+//! Std-only wall-clock benchmark harness with a criterion-shaped API.
+//!
+//! Replaces the `criterion` dependency for the `bench` crate: the same
+//! `Criterion` / `BenchmarkGroup` / `BenchmarkId` surface and the same
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros, so a benchmark file
+//! ports by changing its `use` lines only.
+//!
+//! Methodology is deliberately simple and fully visible: per benchmark we
+//! warm up for a fixed wall-clock budget, calibrate an iteration count
+//! that makes one sample take ~`TARGET_SAMPLE_MS`, collect
+//! `sample_size` samples, and report min / median / mean nanoseconds per
+//! iteration. No outlier rejection, no bootstrap — for the paper's
+//! tables the binaries in `crates/bench/src/bin` do their own repetition
+//! logic, and for A/B comparisons during development min and median are
+//! the numbers that matter.
+//!
+//! Environment knobs:
+//! - `STUDY_BENCH_SAMPLES` overrides every group's sample count,
+//! - `STUDY_BENCH_FAST=1` caps warm-up and samples for smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one measured sample.
+const TARGET_SAMPLE_MS: u64 = 25;
+/// Warm-up budget per benchmark.
+const WARMUP_MS: u64 = 150;
+
+/// Top-level harness state: name filter plus global reporting.
+pub struct Criterion {
+    filter: Option<String>,
+    fast: bool,
+    sample_override: Option<usize>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            fast: std::env::var("STUDY_BENCH_FAST").is_ok_and(|v| v != "0"),
+            sample_override: std::env::var("STUDY_BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Harness configured from the process arguments, as `cargo bench`
+    /// invokes it: the first free argument is a substring filter; harness
+    /// flags (`--bench`, `--exact`, …) are accepted and ignored.
+    pub fn from_args() -> Self {
+        Criterion {
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+            ..Criterion::default()
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (its own one-entry group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_inner(None, f);
+        group.finish();
+    }
+
+    /// Prints the run footer. Called by [`criterion_main!`](crate::criterion_main).
+    pub fn final_summary(&self) {
+        println!(
+            "\nbench summary: {} benchmarks run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+impl std::fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Criterion")
+            .field("filter", &self.filter)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`, e.g. `BenchmarkId::new("saxpy", "Hash")`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id, e.g. `BenchmarkId::from_parameter(4)`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_inner(Some(id.into().id), f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value, criterion-style.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_inner(Some(id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (statistics were already printed per benchmark).
+    pub fn finish(self) {}
+
+    fn bench_inner<F>(&mut self, id: Option<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = match id {
+            Some(id) => format!("{}/{}", self.name, id),
+            None => self.name.clone(),
+        };
+        if !self.criterion.matches(&full_id) {
+            self.criterion.skipped += 1;
+            return;
+        }
+        let fast = self.criterion.fast;
+        let samples = self
+            .criterion
+            .sample_override
+            .unwrap_or(if fast { 3 } else { self.sample_size })
+            .max(1);
+
+        // Warm up and calibrate iterations per sample.
+        let warmup_budget = Duration::from_millis(if fast { 10 } else { WARMUP_MS });
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warmup_start = Instant::now();
+        let mut per_iter = loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / bencher.iters as u32;
+            if warmup_start.elapsed() >= warmup_budget {
+                break per_iter;
+            }
+            // Grow toward the sample target while warming the caches.
+            let target = Duration::from_millis(TARGET_SAMPLE_MS);
+            if bencher.elapsed < target {
+                bencher.iters = (bencher.iters * 2).min(1 << 20);
+            }
+        };
+        if per_iter.is_zero() {
+            per_iter = Duration::from_nanos(1);
+        }
+        let target = Duration::from_millis(if fast { 2 } else { TARGET_SAMPLE_MS });
+        let iters_per_sample = (target.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 24) as u64;
+
+        // Measure.
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            sample_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = sample_ns[0];
+        let median = sample_ns[sample_ns.len() / 2];
+        let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        println!(
+            "bench {full_id:<52} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples,
+            iters_per_sample,
+        );
+        self.criterion.ran += 1;
+    }
+}
+
+impl std::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of
+    /// iterations; the routine's return value is passed through
+    /// [`black_box`] so the computation cannot be optimized away.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a group runner, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines
+/// `fn benches(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `fn main()` running the given groups, criterion-style:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            filter: None,
+            fast: true,
+            sample_override: Some(2),
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    #[test]
+    fn runs_and_counts_benchmarks() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("par", 3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+        assert_eq!(c.ran, 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = fast_criterion();
+        c.filter = Some("nomatch".into());
+        c.bench_function("something_else", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.ran, 0);
+        assert_eq!(c.skipped, 1);
+    }
+
+    #[test]
+    fn bencher_accumulates_elapsed_time() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.elapsed >= Duration::from_micros(400));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,479 @@
+//! Chase–Lev work-stealing deque and a shared injector queue.
+//!
+//! This is the work-distribution layer under `galois_rt::for_each`: each
+//! pool thread owns a [`Worker`] it pushes and pops locally (LIFO, no
+//! contention in the common case), every other thread holds a [`Stealer`]
+//! that takes batches from the opposite end, and an [`Injector`] seeds the
+//! initial items. The owner/thief protocol is the classic Chase–Lev
+//! dynamic circular deque (Chase & Lev, SPAA 2005) with the C11 orderings
+//! of Lê et al., *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP 2013); the API mirrors the `crossbeam-deque` subset the
+//! runtime previously used so the executor's chunked-stealing semantics
+//! are unchanged.
+//!
+//! Buffer reclamation is deliberately simple instead of epoch-based: a
+//! grown-out-of buffer is *retired*, not freed, and all retired buffers
+//! are released when the last handle drops. A stealer that loaded a stale
+//! buffer pointer therefore always reads frozen memory, and its
+//! compare-and-swap on `top` decides whether the value it copied is owned.
+//! Deques in this workspace live for one `for_each` call, so the retained
+//! memory is bounded by the high-water mark of a single loop.
+
+use crate::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One item was successfully stolen.
+    Success(T),
+    /// Lost a race with another thread; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Ring buffer of one power-of-two capacity generation.
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer {
+            mask: cap - 1,
+            slots,
+        }))
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Writes `value` at logical index `i`. Owner-only.
+    ///
+    /// # Safety
+    ///
+    /// The slot must not hold a live value and no other thread may be
+    /// granted ownership of index `i` while the write is in flight.
+    #[inline]
+    unsafe fn write(&self, i: isize, value: T) {
+        (*self.slots[i as usize & self.mask].get()).write(value);
+    }
+
+    /// Copies the value at logical index `i` out of the buffer.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure index `i` held a live value when it validated
+    /// `top`/`bottom`, and must `mem::forget` the copy if its subsequent
+    /// CAS on `top` fails (the value then belongs to another thread).
+    #[inline]
+    unsafe fn read(&self, i: isize) -> T {
+        (*self.slots[i as usize & self.mask].get()).assume_init_read()
+    }
+}
+
+struct Inner<T> {
+    /// Steal end. Monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end. Only the worker writes it.
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Grown-out-of buffers, freed on drop (see module docs).
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the Chase–Lev protocol transfers each value to exactly one
+// thread; raw buffer pointers are only dereferenced under that protocol.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the live range, then every buffer.
+        let top = self.top.load(Ordering::Relaxed);
+        let bottom = self.bottom.load(Ordering::Relaxed);
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for &old in self.retired.get_mut().iter() {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+const INITIAL_CAP: usize = 64;
+/// Upper bound on items moved per steal; matches the executor's chunked
+/// stealing so one victim cannot be drained by a single thief.
+const STEAL_BATCH: usize = 32;
+
+/// Owner handle: LIFO push/pop at the bottom end. Not shareable; to let
+/// other threads take work, hand them [`Worker::stealer`] handles.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// `!Sync`: only the owning thread may push/pop.
+    _not_sync: PhantomData<UnsafeCell<()>>,
+}
+
+// SAFETY: a Worker may migrate between threads (it is created on the
+// spawning thread and moved into a pool thread); it just cannot be used
+// from two threads at once, which `!Sync` enforces.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Worker<T> {
+    /// Creates an empty deque whose owner pops its own most recent pushes
+    /// first (LIFO), while stealers take the oldest items.
+    pub fn new_lifo() -> Self {
+        Worker {
+            inner: Arc::new(Inner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(Buffer::alloc(INITIAL_CAP)),
+                retired: Mutex::new(Vec::new()),
+            }),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Creates a [`Stealer`] for this deque; cheap, clonable, shareable.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of items currently in the deque (a racy snapshot).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes an item onto the owner end.
+    pub fn push(&self, item: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+        // SAFETY: only the owner dereferences `buffer` without the steal
+        // protocol, and only the owner mutates it.
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                self.grow(t, b);
+                buf = self.inner.buffer.load(Ordering::Relaxed);
+            }
+            (*buf).write(b, item);
+        }
+        // Publish the slot before publishing the new bottom.
+        self.inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops an item from the owner end (the most recently pushed).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        // Reserve the slot before reading `top` (SeqCst pairs with the
+        // fence in `steal`): stealers that read the old bottom afterwards
+        // will not touch index `b`.
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let size = b - t;
+        if size < 0 {
+            // Deque was empty; restore bottom.
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: index b held a live value and is now reserved (size >= 0).
+        let item = unsafe { (*buf).read(b) };
+        if size > 0 {
+            return Some(item);
+        }
+        // Last item: race the stealers for it via `top`.
+        let won = self
+            .inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        self.inner.bottom.store(b + 1, Ordering::Relaxed);
+        if won {
+            Some(item)
+        } else {
+            // A stealer got there first and owns the value it copied.
+            std::mem::forget(item);
+            None
+        }
+    }
+
+    /// Doubles the buffer, copying the live range `t..b`. Owner-only.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the owner with `t`/`b` freshly loaded.
+    unsafe fn grow(&self, t: isize, b: isize) {
+        let old = self.inner.buffer.load(Ordering::Relaxed);
+        let new = Buffer::alloc((*old).cap() * 2);
+        for i in t..b {
+            // Bitwise copy: logical index i keeps its value in both
+            // generations, which is what makes stale stealer reads benign.
+            let v = (*old).read(i);
+            (*new).write(i, v);
+        }
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().push(old);
+    }
+}
+
+impl<T> Default for Worker<T> {
+    fn default() -> Self {
+        Worker::new_lifo()
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+/// Thief handle: takes the oldest items from a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts to steal one item from the top end.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if b - t <= 0 {
+            return Steal::Empty;
+        }
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        // SAFETY: a stale `buf` is frozen (module docs); the CAS below
+        // decides whether this copy is ours.
+        let item = unsafe { (*buf).read(t) };
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(item)
+        } else {
+            std::mem::forget(item);
+            Steal::Retry
+        }
+    }
+
+    /// Steals a batch of items, moving all but one into `dest` and
+    /// returning that one. This is the chunked steal the executor's
+    /// locality depends on: a thief amortizes contention on the victim
+    /// over up to `STEAL_BATCH` items (never more than half the
+    /// victim's queue) instead of coming back for every item.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let first = match self.steal() {
+            Steal::Success(item) => item,
+            other => return other,
+        };
+        // Take up to half of what remains, bounded by the batch size.
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let extra = ((b - t).max(0) as usize / 2).min(STEAL_BATCH - 1);
+        for _ in 0..extra {
+            match self.steal() {
+                Steal::Success(item) => dest.push(item),
+                _ => break,
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+/// Shared FIFO used to seed work before per-thread deques exist and to
+/// absorb overflow pushes from outside parallel regions.
+///
+/// Unlike the deque this is a plain locked queue: it is touched once per
+/// *batch* (not per item) and only on the cold path where a thread has
+/// exhausted its own deque and every victim, so a lock is simpler than a
+/// lock-free MPMC queue and measurably irrelevant.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Adds an item to the back of the queue.
+    pub fn push(&self, item: T) {
+        self.queue.lock().push_back(item);
+    }
+
+    /// Whether the queue is observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+
+    /// Number of queued items (a racy snapshot).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Moves up to `STEAL_BATCH` items into `dest`, returning the first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock();
+        let first = match q.pop_front() {
+            Some(item) => item,
+            None => return Steal::Empty,
+        };
+        let extra = q.len().min(STEAL_BATCH - 1);
+        for _ in 0..extra {
+            // Drain in FIFO order; dest pops LIFO, stealers of dest re-steal
+            // FIFO, preserving the rough age order for_each relies on.
+            let item = q.pop_front().expect("len checked above");
+            dest.push(item);
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order_for_owner() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let w = Worker::new_lifo();
+        for i in 0..10 * INITIAL_CAP {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10 * INITIAL_CAP);
+        let mut got: Vec<usize> = std::iter::from_fn(|| w.pop()).collect();
+        got.sort_unstable();
+        assert!(got.iter().copied().eq(0..10 * INITIAL_CAP));
+    }
+
+    #[test]
+    fn batch_steal_moves_items_into_dest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let dest = Worker::new_lifo();
+        let got = s.steal_batch_and_pop(&dest);
+        assert!(matches!(got, Steal::Success(_)));
+        assert!(!dest.is_empty(), "batch steal must move extra items");
+        assert!(dest.len() < 100 / 2 + 1, "never more than half");
+    }
+
+    #[test]
+    fn injector_hands_out_batches() {
+        let inj = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        assert_eq!(w.len(), STEAL_BATCH - 1);
+        assert_eq!(inj.len(), 100 - STEAL_BATCH);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        // Miri-style sanity: drop with live items and retired buffers.
+        let w: Worker<Box<u64>> = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(Box::new(i));
+        }
+        let _s = w.stealer();
+        drop(w); // Inner still alive via stealer
+    }
+}

@@ -1,0 +1,199 @@
+//! Contention stress tests for the Chase–Lev work-stealing deque: under
+//! concurrent push/pop/steal traffic, every pushed item must be observed
+//! exactly once — a lost item shows up as a missing sum contribution, a
+//! duplicated one as an excess.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use substrate::deque::{Injector, Steal, Worker};
+
+/// One owner thread pushes and pops while several stealers drain
+/// concurrently; the multiset of observed items must equal the multiset
+/// pushed (checked via count and sum).
+#[test]
+fn concurrent_steals_neither_lose_nor_duplicate() {
+    const ITEMS: u64 = 200_000;
+    const STEALERS: usize = 4;
+
+    let worker: Worker<u64> = Worker::new_lifo();
+    let stealers: Vec<_> = (0..STEALERS).map(|_| worker.stealer()).collect();
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_count = Arc::new(AtomicU64::new(0));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = stealers
+        .into_iter()
+        .map(|s| {
+            let done = Arc::clone(&done);
+            let count = Arc::clone(&stolen_count);
+            let sum = Arc::clone(&stolen_sum);
+            std::thread::spawn(move || {
+                let local: Worker<u64> = Worker::new_lifo();
+                loop {
+                    match s.steal_batch_and_pop(&local) {
+                        Steal::Success(x) => {
+                            let mut batch_sum = x;
+                            let mut batch_count = 1;
+                            while let Some(y) = local.pop() {
+                                batch_sum += y;
+                                batch_count += 1;
+                            }
+                            sum.fetch_add(batch_sum, Ordering::Relaxed);
+                            count.fetch_add(batch_count, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Owner: push everything, interleaving pops so the bottom end churns
+    // against in-flight steals (the hard case for the last-item race).
+    let mut owner_count = 0u64;
+    let mut owner_sum = 0u64;
+    for i in 0..ITEMS {
+        worker.push(i);
+        if i % 3 == 0 {
+            if let Some(x) = worker.pop() {
+                owner_sum += x;
+                owner_count += 1;
+            }
+        }
+    }
+    while let Some(x) = worker.pop() {
+        owner_sum += x;
+        owner_count += 1;
+    }
+    done.store(true, Ordering::Release);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total_count = owner_count + stolen_count.load(Ordering::Relaxed);
+    let total_sum = owner_sum + stolen_sum.load(Ordering::Relaxed);
+    assert_eq!(total_count, ITEMS, "each pushed item observed exactly once");
+    assert_eq!(total_sum, ITEMS * (ITEMS - 1) / 2, "values survive intact");
+}
+
+/// All-to-all: every thread owns a deque, pushes its share, then drains its
+/// own deque while stealing from everyone else. Grow-under-steal is
+/// exercised because pushes overflow the initial ring capacity.
+#[test]
+fn all_to_all_stealing_preserves_every_item() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 50_000;
+
+    let workers: Vec<Worker<u64>> = (0..THREADS).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Vec<_>> = (0..THREADS)
+        .map(|me| {
+            workers
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != me)
+                .map(|(_, w)| w.stealer())
+                .collect()
+        })
+        .collect();
+    let seen = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for (tid, (worker, stealers)) in workers.into_iter().zip(stealers).enumerate() {
+            let seen = Arc::clone(&seen);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    worker.push(tid as u64 * PER_THREAD + i);
+                }
+                let mut local_seen = 0u64;
+                let mut dry_rounds = 0;
+                while dry_rounds < 100 {
+                    let mut found = false;
+                    while worker.pop().is_some() {
+                        local_seen += 1;
+                        found = true;
+                    }
+                    for s in &stealers {
+                        loop {
+                            match s.steal_batch_and_pop(&worker) {
+                                Steal::Success(_) => {
+                                    local_seen += 1;
+                                    found = true;
+                                    break;
+                                }
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                    }
+                    if found {
+                        dry_rounds = 0;
+                    } else {
+                        dry_rounds += 1;
+                        std::thread::yield_now();
+                    }
+                }
+                seen.fetch_add(local_seen, Ordering::Relaxed);
+            });
+        }
+    });
+
+    assert_eq!(
+        seen.load(Ordering::Relaxed),
+        THREADS as u64 * PER_THREAD,
+        "no item lost or duplicated in all-to-all stealing"
+    );
+}
+
+/// The injector feeds batches into per-thread deques; every injected item
+/// must surface exactly once even when many threads contend on it.
+#[test]
+fn injector_hands_out_each_item_once() {
+    const ITEMS: u64 = 100_000;
+    const THREADS: usize = 4;
+
+    let injector: Arc<Injector<u64>> = Arc::new(Injector::new());
+    for i in 0..ITEMS {
+        injector.push(i);
+    }
+    let taken_count = Arc::new(AtomicU64::new(0));
+    let taken_sum = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let injector = Arc::clone(&injector);
+            let count = Arc::clone(&taken_count);
+            let sum = Arc::clone(&taken_sum);
+            std::thread::spawn(move || {
+                let local: Worker<u64> = Worker::new_lifo();
+                loop {
+                    match injector.steal_batch_and_pop(&local) {
+                        Steal::Success(x) => {
+                            let mut s = x;
+                            let mut c = 1;
+                            while let Some(y) = local.pop() {
+                                s += y;
+                                c += 1;
+                            }
+                            sum.fetch_add(s, Ordering::Relaxed);
+                            count.fetch_add(c, Ordering::Relaxed);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(taken_count.load(Ordering::Relaxed), ITEMS);
+    assert_eq!(taken_sum.load(Ordering::Relaxed), ITEMS * (ITEMS - 1) / 2);
+}

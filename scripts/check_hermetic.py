@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Hermetic-build guard: fail if any Cargo.toml declares a registry dependency.
+
+Every dependency in this workspace must be a path or workspace reference to
+a sibling crate (see the hermetic-build policy in DESIGN.md). This script
+scans all manifests and reports any entry that names a version requirement,
+a git URL, or an alternative registry — the forms that would make cargo
+reach for the network.
+
+Usage: python3 scripts/check_hermetic.py [repo_root]
+Exits non-zero if an offending dependency is found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEP_SECTION = re.compile(r"dependencies")
+SECTION = re.compile(r"\s*\[(.+)\]\s*$")
+# `version = "..."` (also inside inline tables), `git = "..."`, `registry = "..."`
+FORBIDDEN_KEY = re.compile(r'\b(version|git|registry)\s*=\s*"')
+# Bare `name = "1.2"` shorthand: the value is a version requirement string.
+BARE_VERSION = re.compile(r'^\s*[\w-]+\s*=\s*"')
+
+
+def scan(manifest: Path) -> list[str]:
+    offending = []
+    section = None
+    for raw in manifest.read_text().splitlines():
+        line = raw.split("#")[0].rstrip()
+        m = SECTION.match(line)
+        if m:
+            section = m.group(1)
+            continue
+        if section is None or not DEP_SECTION.search(section):
+            continue
+        if "=" not in line:
+            continue
+        if FORBIDDEN_KEY.search(line) or BARE_VERSION.match(line):
+            offending.append(f"{manifest}: [{section}] {line.strip()}")
+    return offending
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    manifests = sorted(
+        p for p in root.rglob("Cargo.toml") if "target" not in p.parts
+    )
+    if not manifests:
+        print(f"no Cargo.toml found under {root}", file=sys.stderr)
+        return 2
+    offending = [o for m in manifests for o in scan(m)]
+    for o in offending:
+        print(o)
+    if offending:
+        print(
+            f"\n{len(offending)} registry dependenc"
+            f"{'y' if len(offending) == 1 else 'ies'} found; the workspace "
+            "must stay hermetic (path-only deps, see DESIGN.md).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{len(manifests)} manifests clean: no registry dependencies.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,9 @@
 //! * [`lonestar`] — graph-based algorithms written on the Galois API.
 //! * [`perfmon`] — software performance counters and memory tracking.
 //! * [`study_core`] — the study harness: runners, references, verification.
+//! * [`substrate`] — the hermetic-build layer: std-only sync primitives,
+//!   work-stealing deque, PRNG, property-test and timing harnesses that
+//!   let the whole workspace build with zero external dependencies.
 
 pub use galois_rt;
 pub use graph;
@@ -25,3 +28,4 @@ pub use lagraph;
 pub use lonestar;
 pub use perfmon;
 pub use study_core;
+pub use substrate;

@@ -1,0 +1,120 @@
+//! Determinism guarantees of the hermetic substrate.
+//!
+//! Two families of checks:
+//!
+//! 1. Every synthetic generator is a pure function of its seed — two calls
+//!    with the same seed produce bit-identical graphs (offsets, dests and
+//!    weights), and different seeds produce different graphs.
+//! 2. The study's conclusions depend on comparing systems, so algorithm
+//!    *results* must not depend on the thread count: bfs, cc and pagerank
+//!    produce identical output on 1, 2 and the default number of threads,
+//!    on both the Lonestar and the GaloisBLAS paths.
+
+use graph_api_study::galois_rt;
+use graph_api_study::graph::gen::{
+    community, erdos_renyi, grid_road, preferential_attachment, rmat, web_crawl, RmatParams,
+};
+use graph_api_study::graph::transform::{symmetrize, transpose};
+use graph_api_study::graph::CsrGraph;
+use graph_api_study::graphblas::GaloisRuntime;
+use graph_api_study::{lagraph, lonestar};
+
+type SeededBuild = Box<dyn Fn(u64) -> CsrGraph>;
+
+#[test]
+fn every_generator_is_bit_identical_for_equal_seeds() {
+    let builds: Vec<(&str, SeededBuild)> = vec![
+        ("rmat", Box::new(|s| rmat(9, 8, RmatParams::default(), s))),
+        ("grid_road", Box::new(|s| grid_road(20, 15, s))),
+        (
+            "preferential_attachment",
+            Box::new(|s| preferential_attachment(600, 4, true, s)),
+        ),
+        ("web_crawl", Box::new(|s| web_crawl(12, 40, s))),
+        ("community", Box::new(|s| community(400, 20, s))),
+        ("erdos_renyi", Box::new(|s| erdos_renyi(300, 2000, s))),
+    ];
+    for (name, build) in &builds {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = build(seed);
+            let b = build(seed);
+            assert_eq!(a, b, "{name} must be deterministic for seed {seed}");
+        }
+        assert_ne!(
+            build(1),
+            build(2),
+            "{name} must actually consume its seed"
+        );
+    }
+}
+
+/// Tests that reconfigure the global pool must not interleave.
+static POOL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` once per thread configuration and asserts all results agree.
+fn across_thread_counts<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    f: impl Fn() -> T,
+) -> T {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let saved = galois_rt::threads();
+    let counts = [1usize, 2, saved.max(2)];
+    let mut results = Vec::with_capacity(counts.len());
+    for &t in &counts {
+        galois_rt::set_threads(t);
+        results.push((t, f()));
+    }
+    galois_rt::set_threads(saved);
+    let (_, baseline) = results.remove(0);
+    for (t, r) in results {
+        assert_eq!(r, baseline, "{what} differs between 1 and {t} threads");
+    }
+    baseline
+}
+
+#[test]
+fn algorithm_results_do_not_depend_on_thread_count() {
+    let g = rmat(9, 8, RmatParams::default(), 7);
+    let s = symmetrize(&g);
+    let gt = transpose(&g);
+    let deg: Vec<u32> = (0..g.num_nodes() as u32)
+        .map(|v| g.out_degree(v) as u32)
+        .collect();
+
+    // Lonestar path.
+    across_thread_counts("lonestar bfs levels", || lonestar::bfs::bfs(&g, 0).level);
+    across_thread_counts("lonestar afforest components", || {
+        lonestar::cc::afforest(&s, 2).component
+    });
+    across_thread_counts("lonestar shiloach-vishkin components", || {
+        lonestar::cc::shiloach_vishkin(&s).component
+    });
+    let pr = across_thread_counts("lonestar pagerank scores", || {
+        lonestar::pagerank::pagerank(&gt, &deg, 10)
+    });
+    assert!(pr.iter().all(|x| x.is_finite()));
+
+    // GaloisBLAS path.
+    across_thread_counts("lagraph bfs levels", || {
+        lagraph::bfs::bfs(&g, 0, GaloisRuntime).unwrap().level
+    });
+    across_thread_counts("lagraph components", || {
+        lagraph::cc::connected_components(&s, GaloisRuntime)
+            .unwrap()
+            .component
+    });
+    across_thread_counts("lagraph pagerank scores", || {
+        lagraph::pagerank::pagerank(&g, 10, GaloisRuntime).unwrap()
+    });
+}
+
+#[test]
+fn generation_is_thread_count_independent() {
+    // Generators are serial, but run them under different ambient pool
+    // configurations to pin that down.
+    let reference = rmat(8, 8, RmatParams::default(), 3);
+    let got = across_thread_counts("rmat generation", || {
+        rmat(8, 8, RmatParams::default(), 3)
+    });
+    assert_eq!(got, reference);
+}

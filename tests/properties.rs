@@ -1,67 +1,99 @@
 //! Property-based integration tests: on arbitrary random graphs, all
 //! three systems and all variants agree with the serial references.
+//!
+//! Runs on the in-tree harness (`substrate::prop`); set `STUDY_PROP_SEED`
+//! to replay a reported failure.
 
 use graph_api_study::graph::builder::GraphBuilder;
 use graph_api_study::graph::transform::{sort_by_degree, symmetrize};
 use graph_api_study::graph::CsrGraph;
 use graph_api_study::graphblas::{GaloisRuntime, StaticRuntime};
 use graph_api_study::study_core::reference;
+use graph_api_study::substrate::prop::{self, Gen};
+use graph_api_study::substrate::{prop_assert, prop_assert_eq};
 use graph_api_study::{lagraph, lonestar};
-use proptest::prelude::*;
+
+const CASES: u32 = 24;
 
 /// An arbitrary weighted directed graph with up to 60 vertices.
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..60, proptest::collection::vec((0u32..60, 0u32..60, 1u32..100), 0..300)).prop_map(
-        |(n, edges)| {
-            let mut b = GraphBuilder::new(n).weighted(true);
-            for (s, d, w) in edges {
-                b.push_edge(s % n as u32, d % n as u32, w);
-            }
-            b.dedup(true).build()
-        },
-    )
+fn arb_graph(g: &mut Gen) -> CsrGraph {
+    let n = g.gen_range(2usize..60);
+    let edges = g.vec(0..300, |g| {
+        (
+            g.gen_range(0u32..60),
+            g.gen_range(0u32..60),
+            g.gen_range(1u32..100),
+        )
+    });
+    let mut b = GraphBuilder::new(n).weighted(true);
+    for (s, d, w) in edges {
+        b.push_edge(s % n as u32, d % n as u32, w);
+    }
+    b.dedup(true).build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn bfs_systems_match_reference() {
+    prop::check(
+        "bfs_systems_match_reference",
+        prop::cases(CASES),
+        |g| (arb_graph(g), g.gen_range(0u32..60)),
+        |(g, src_pick)| {
+            let src = src_pick % g.num_nodes() as u32;
+            let expected = reference::bfs_levels(g, src);
+            prop_assert_eq!(&lonestar::bfs::bfs(g, src).level, &expected);
+            prop_assert_eq!(&lagraph::bfs::bfs(g, src, GaloisRuntime).unwrap().level, &expected);
+            prop_assert_eq!(&lagraph::bfs::bfs(g, src, StaticRuntime).unwrap().level, &expected);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bfs_systems_match_reference(g in arb_graph(), src_pick in 0u32..60) {
-        let src = src_pick % g.num_nodes() as u32;
-        let expected = reference::bfs_levels(&g, src);
-        prop_assert_eq!(&lonestar::bfs::bfs(&g, src).level, &expected);
-        prop_assert_eq!(&lagraph::bfs::bfs(&g, src, GaloisRuntime).unwrap().level, &expected);
-        prop_assert_eq!(&lagraph::bfs::bfs(&g, src, StaticRuntime).unwrap().level, &expected);
-    }
+#[test]
+fn sssp_systems_match_dijkstra() {
+    prop::check(
+        "sssp_systems_match_dijkstra",
+        prop::cases(CASES),
+        |g| (arb_graph(g), g.gen_range(0u32..60), g.gen_range(1u32..16)),
+        |(g, src_pick, delta_pow)| {
+            let src = src_pick % g.num_nodes() as u32;
+            let delta = 1u64 << delta_pow;
+            let expected = reference::dijkstra(g, src);
+            prop_assert_eq!(&lonestar::sssp::sssp(g, src, delta, true).dist, &expected);
+            prop_assert_eq!(&lonestar::sssp::sssp(g, src, delta, false).dist, &expected);
+            prop_assert_eq!(
+                &lagraph::sssp::sssp_delta_stepping(g, src, delta, GaloisRuntime).unwrap().dist,
+                &expected
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sssp_systems_match_dijkstra(g in arb_graph(), src_pick in 0u32..60, delta_pow in 1u32..16) {
-        let src = src_pick % g.num_nodes() as u32;
-        let delta = 1u64 << delta_pow;
-        let expected = reference::dijkstra(&g, src);
-        prop_assert_eq!(&lonestar::sssp::sssp(&g, src, delta, true).dist, &expected);
-        prop_assert_eq!(&lonestar::sssp::sssp(&g, src, delta, false).dist, &expected);
-        prop_assert_eq!(
-            &lagraph::sssp::sssp_delta_stepping(&g, src, delta, GaloisRuntime).unwrap().dist,
-            &expected
-        );
-    }
+#[test]
+fn cc_systems_produce_reference_partition() {
+    prop::check(
+        "cc_systems_produce_reference_partition",
+        prop::cases(CASES),
+        arb_graph,
+        |g| {
+            let s = symmetrize(g);
+            let expected = reference::components(&s);
+            prop_assert_eq!(&lonestar::cc::afforest(&s, 2).component, &expected);
+            prop_assert_eq!(&lonestar::cc::shiloach_vishkin(&s).component, &expected);
+            prop_assert_eq!(
+                &lagraph::cc::connected_components(&s, GaloisRuntime).unwrap().component,
+                &expected
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cc_systems_produce_reference_partition(g in arb_graph()) {
-        let s = symmetrize(&g);
-        let expected = reference::components(&s);
-        prop_assert_eq!(&lonestar::cc::afforest(&s, 2).component, &expected);
-        prop_assert_eq!(&lonestar::cc::shiloach_vishkin(&s).component, &expected);
-        prop_assert_eq!(
-            &lagraph::cc::connected_components(&s, GaloisRuntime).unwrap().component,
-            &expected
-        );
-    }
-
-    #[test]
-    fn tc_variants_match_reference(g in arb_graph()) {
-        let s = symmetrize(&g);
+#[test]
+fn tc_variants_match_reference() {
+    prop::check("tc_variants_match_reference", prop::cases(CASES), arb_graph, |g| {
+        let s = symmetrize(g);
         let expected = reference::triangles(&s);
         let (sorted, _) = sort_by_degree(&s);
         prop_assert_eq!(lonestar::tc::tc(&sorted), expected);
@@ -73,27 +105,40 @@ proptest! {
             lagraph::tc::tc_listing(&sorted, GaloisRuntime).unwrap().triangles,
             expected
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ktruss_systems_match_reference(g in arb_graph(), k in 3u32..6) {
-        let s = symmetrize(&g);
-        let expected = reference::ktruss_edges(&s, k);
-        prop_assert_eq!(lonestar::ktruss::ktruss(&s, k).edges_remaining, expected);
-        prop_assert_eq!(
-            lagraph::ktruss::ktruss(&s, k, GaloisRuntime).unwrap().edges_remaining,
-            expected
-        );
-    }
+#[test]
+fn ktruss_systems_match_reference() {
+    prop::check(
+        "ktruss_systems_match_reference",
+        prop::cases(CASES),
+        |g| (arb_graph(g), g.gen_range(3u32..6)),
+        |(g, k)| {
+            let k = *k;
+            let s = symmetrize(g);
+            let expected = reference::ktruss_edges(&s, k);
+            prop_assert_eq!(lonestar::ktruss::ktruss(&s, k).edges_remaining, expected);
+            prop_assert_eq!(
+                lagraph::ktruss::ktruss(&s, k, GaloisRuntime).unwrap().edges_remaining,
+                expected
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pagerank_variants_agree(g in arb_graph()) {
-        let gt = graph_api_study::graph::transform::transpose(&g);
+#[test]
+fn pagerank_variants_agree() {
+    prop::check("pagerank_variants_agree", prop::cases(CASES), arb_graph, |g| {
+        let gt = graph_api_study::graph::transform::transpose(g);
         let deg: Vec<u32> = (0..g.num_nodes() as u32).map(|v| g.out_degree(v) as u32).collect();
         let ls = lonestar::pagerank::pagerank(&gt, &deg, 10);
-        let gb = lagraph::pagerank::pagerank(&g, 10, GaloisRuntime).unwrap();
+        let gb = lagraph::pagerank::pagerank(g, 10, GaloisRuntime).unwrap();
         for (a, b) in ls.iter().zip(gb.iter()) {
             prop_assert!((a - b).abs() < 1e-10, "pr mismatch: {} vs {}", a, b);
         }
-    }
+        Ok(())
+    });
 }
