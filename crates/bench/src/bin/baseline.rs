@@ -1,0 +1,137 @@
+//! `baseline` — machine-readable performance baseline.
+//!
+//! Runs all six problems × three systems on a subset of scaled study
+//! graphs (default `rmat22,road-USA-W,indochina04`; override with
+//! `STUDY_GRAPHS`) and writes `BENCH_baseline.json`: per-cell wall time
+//! (tracing disabled) plus the traced pass / materialization / round
+//! counts from one additional traced execution.
+//!
+//! ```text
+//! STUDY_SCALE=0.03 cargo run -p bench --bin baseline --release
+//! ```
+//!
+//! `scripts/compare_bench.py` diffs two such files and flags >20% wall
+//! regressions; CI runs it against the committed seed baseline.
+
+use study_core::{timed_run, traced_run, verify, Json, Problem, System};
+
+/// Schema identifier; bump on any incompatible layout change
+/// (`compare_bench.py` hard-fails on mismatch).
+const SCHEMA: &str = "graph-api-study/bench-baseline/v1";
+
+/// Graphs used when `STUDY_GRAPHS` is unset: one scale-free, one road,
+/// one web graph — the three topology classes of Table I.
+const DEFAULT_GRAPHS: &str = "rmat22,road-USA-W,indochina04";
+
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    let mut out = "BENCH_baseline.json".to_string();
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--out", Some(path)) => out = path,
+            _ => {
+                eprintln!("usage: baseline [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn summary_json(s: &perfmon::trace::TraceSummary) -> Json {
+    let mut o = Json::obj();
+    o.push("ops", s.ops);
+    o.push("loops", s.loops);
+    o.push("passes", s.passes);
+    o.push("product_rounds", s.product_rounds);
+    o.push("loop_rounds", s.loop_rounds);
+    o.push("iterations", s.iterations);
+    o.push("steals", s.steals);
+    o.push("bucket_visits", s.bucket_visits);
+    o.push("materialized_bytes", s.materialized_bytes);
+    o.push("dropped", s.dropped);
+    o
+}
+
+fn main() {
+    let out = out_path();
+    if std::env::var("STUDY_GRAPHS").is_err() {
+        std::env::set_var("STUDY_GRAPHS", DEFAULT_GRAPHS);
+    }
+    let scale = bench::scale_from_env();
+    let repeats = bench::repeats_from_env();
+    let prepared = bench::prepare_graphs(scale);
+
+    let mut graphs = Vec::new();
+    for p in &prepared {
+        let mut g = Json::obj();
+        g.push("name", p.name.clone());
+        g.push("nodes", p.graph.num_nodes());
+        g.push("edges", p.graph.num_edges());
+        graphs.push(g);
+    }
+
+    let mut cells = Vec::new();
+    let mut failures = 0u32;
+    for problem in Problem::all() {
+        for system in System::all() {
+            for p in &prepared {
+                // Timed runs with tracing off (the numbers the regression
+                // gate compares), then one traced run for the counters.
+                let (elapsed, m) = bench::timed_avg(repeats, || {
+                    let m = timed_run(system, problem, p);
+                    (m.elapsed, m)
+                });
+                let traced = traced_run(system, problem, p);
+                let verified = match verify::verify(p, problem, &m.output) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        eprintln!("[verify] {system} {problem} {}: {e}", p.name);
+                        failures += 1;
+                        false
+                    }
+                };
+                eprintln!(
+                    "[cell] {problem} {system} {}: {:.3}s, {} ops, {} loops",
+                    p.name,
+                    elapsed.as_secs_f64(),
+                    traced.trace.summary().ops,
+                    traced.trace.summary().loops,
+                );
+                let mut cell = Json::obj();
+                cell.push("problem", problem.to_string());
+                cell.push("system", system.to_string());
+                cell.push("graph", p.name.clone());
+                cell.push("wall_s", elapsed.as_secs_f64());
+                cell.push("traced_wall_s", traced.elapsed.as_secs_f64());
+                cell.push("verified", verified);
+                cell.push("trace", summary_json(&traced.trace.summary()));
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut doc = Json::obj();
+    doc.push("schema", SCHEMA);
+    doc.push("scale", scale.factor());
+    doc.push("threads", galois_rt::threads());
+    doc.push("repeats", u64::from(repeats));
+    doc.push("graphs", graphs);
+    doc.push("cells", cells);
+
+    std::fs::write(&out, doc.pretty()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[baseline] wrote {out}: {} cells ({} problems x {} systems x {} graphs)",
+        Problem::all().len() * System::all().len() * prepared.len(),
+        Problem::all().len(),
+        System::all().len(),
+        prepared.len(),
+    );
+    if failures > 0 {
+        eprintln!("[baseline] {failures} cells FAILED verification");
+        std::process::exit(1);
+    }
+}

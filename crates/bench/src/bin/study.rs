@@ -14,13 +14,17 @@
 //!   --scale F             study-graph scale factor (default 0.25)
 //!   --threads N           worker threads (default: all)
 //!   --perf                print software performance counters
+//!   --trace               record op/loop spans, print a summary and dump
+//!                         the full trace to results/ (or set STUDY_TRACE=1)
 //!   --no-verify           skip verification against the serial reference
 //! ```
 //!
 //! Example: `study sssp --graph road-USA --scale 0.5 --system LS --perf`
 
 use study_core::report::secs;
-use study_core::{timed_run, verify, PreparedGraph, Problem, ProblemOutput, System};
+use study_core::{
+    json, timed_run, traced_run, verify, PreparedGraph, Problem, ProblemOutput, System,
+};
 
 struct Options {
     problem: Problem,
@@ -29,13 +33,14 @@ struct Options {
     scale: f64,
     threads: Option<usize>,
     perf: bool,
+    trace: bool,
     verify: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: study <bfs|cc|ktruss|pr|sssp|tc> [--system SS|GB|LS] [--graph NAME|PATH]\n\
-         \x20            [--scale F] [--threads N] [--perf] [--no-verify]"
+         \x20            [--scale F] [--threads N] [--perf] [--trace] [--no-verify]"
     );
     std::process::exit(2);
 }
@@ -58,6 +63,7 @@ fn parse_args() -> Options {
         scale: 0.25,
         threads: None,
         perf: false,
+        trace: std::env::var("STUDY_TRACE").is_ok_and(|v| v != "0" && !v.is_empty()),
         verify: true,
     };
     while let Some(flag) = args.next() {
@@ -86,6 +92,7 @@ fn parse_args() -> Options {
                 );
             }
             "--perf" => opts.perf = true,
+            "--trace" => opts.trace = true,
             "--no-verify" => opts.verify = false,
             _ => usage(),
         }
@@ -164,10 +171,16 @@ fn main() {
     for &system in &opts.systems {
         perfmon::reset();
         perfmon::enable(opts.perf);
-        let m = timed_run(system, opts.problem, &p);
+        let (elapsed, output, trace) = if opts.trace {
+            let m = traced_run(system, opts.problem, &p);
+            (m.elapsed, m.output, Some(m.trace))
+        } else {
+            let m = timed_run(system, opts.problem, &p);
+            (m.elapsed, m.output, None)
+        };
         perfmon::enable(false);
         let status = if opts.verify {
-            match verify::verify(&p, opts.problem, &m.output) {
+            match verify::verify(&p, opts.problem, &output) {
                 Ok(()) => "verified",
                 Err(e) => {
                     eprintln!("[study] {system}: VERIFICATION FAILED: {e}");
@@ -179,11 +192,53 @@ fn main() {
         };
         println!(
             "{system:>2}  {}s  {}  [{status}]",
-            secs(m.elapsed),
-            summarize(&m.output)
+            secs(elapsed),
+            summarize(&output)
         );
         if opts.perf {
             println!("    {}", perfmon::PerfReport::new("counters", perfmon::snapshot()));
         }
+        if let Some(trace) = trace {
+            let s = trace.summary();
+            println!(
+                "    trace: {} ops, {} loops, {} passes, {} product rounds, \
+                 {} loop rounds, {} iterations, {} steals, {} bucket visits, \
+                 {} materialized bytes{}",
+                s.ops,
+                s.loops,
+                s.passes,
+                s.product_rounds,
+                s.loop_rounds,
+                s.iterations,
+                s.steals,
+                s.bucket_visits,
+                s.materialized_bytes,
+                if s.dropped > 0 {
+                    format!(" ({} events dropped)", s.dropped)
+                } else {
+                    String::new()
+                },
+            );
+            let path = trace_dump_path(opts.problem, system, &p.name);
+            match dump_trace(&path, &trace) {
+                Ok(()) => println!("    trace dumped to {path}"),
+                Err(e) => eprintln!("[study] cannot write {path}: {e}"),
+            }
+        }
     }
+}
+
+/// `results/trace_<problem>_<system>_<graph>.json`, with non-alphanumeric
+/// graph-name characters flattened so file paths stay shell-friendly.
+fn trace_dump_path(problem: Problem, system: System, graph: &str) -> String {
+    let graph: String = graph
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    format!("results/trace_{problem}_{system}_{graph}.json")
+}
+
+fn dump_trace(path: &str, trace: &perfmon::trace::Trace) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    std::fs::write(path, json::trace_json(trace).pretty())
 }

@@ -17,8 +17,11 @@
 //! * [`verify`] — output comparisons (exact, partition-equivalence or
 //!   tolerance-based as appropriate);
 //! * [`report`] — fixed-width table formatting for the reproduce
-//!   binaries.
+//!   binaries;
+//! * [`json`] — hand-rolled JSON emission (hermetic: no serde) for
+//!   `BENCH_baseline.json` and trace dumps.
 
+pub mod json;
 pub mod prepared;
 pub mod problem;
 pub mod reference;
@@ -26,6 +29,7 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
+pub use json::Json;
 pub use prepared::PreparedGraph;
 pub use problem::{Problem, ProblemOutput, System, Variant};
-pub use runner::{run, timed_run, RunMeasurement};
+pub use runner::{run, timed_run, traced_run, traced_run_variant, RunMeasurement, TracedMeasurement};

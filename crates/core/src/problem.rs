@@ -137,6 +137,16 @@ impl Variant {
         }
     }
 
+    /// The Figure 3 panel (problem) this variant belongs to.
+    pub fn problem(&self) -> Problem {
+        match self {
+            Variant::PrLs | Variant::PrLsSoa | Variant::PrGbRes | Variant::PrGb => Problem::Pr,
+            Variant::TcLs | Variant::TcGbLl | Variant::TcGbSort | Variant::TcGb => Problem::Tc,
+            Variant::CcLs | Variant::CcLsSv | Variant::CcGb => Problem::Cc,
+            Variant::SsspLs | Variant::SsspLsNotile | Variant::SsspGb => Problem::Sssp,
+        }
+    }
+
     /// Figure 3 label.
     pub fn name(&self) -> &'static str {
         match self {
@@ -188,6 +198,15 @@ mod tests {
         assert_eq!(Variant::panel(Problem::Cc).len(), 3);
         assert_eq!(Variant::panel(Problem::Sssp).len(), 3);
         assert!(Variant::panel(Problem::Bfs).is_empty());
+    }
+
+    #[test]
+    fn every_panel_variant_maps_back_to_its_problem() {
+        for problem in Problem::all() {
+            for &variant in Variant::panel(problem) {
+                assert_eq!(variant.problem(), problem, "{}", variant.name());
+            }
+        }
     }
 
     #[test]

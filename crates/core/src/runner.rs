@@ -38,6 +38,46 @@ pub fn timed_run(system: System, problem: Problem, p: &PreparedGraph) -> RunMeas
     }
 }
 
+/// One traced measurement: timing, output, and the merged op/loop trace.
+#[derive(Debug, Clone)]
+pub struct TracedMeasurement {
+    /// Wall-clock time of the algorithm proper (tracing enabled, so
+    /// slightly above [`RunMeasurement::elapsed`] for the same cell).
+    pub elapsed: Duration,
+    /// The algorithm's output, for verification.
+    pub output: ProblemOutput,
+    /// Every GraphBLAS call and runtime loop the run issued.
+    pub trace: perfmon::trace::Trace,
+}
+
+/// Runs `problem` on `system` with [`perfmon::trace`] enabled, returning
+/// the merged trace alongside timing and output.
+///
+/// Trace state is process-global; callers running traced cells
+/// concurrently (tests in particular) must serialize.
+pub fn traced_run(system: System, problem: Problem, p: &PreparedGraph) -> TracedMeasurement {
+    let start = Instant::now();
+    let (output, trace) = perfmon::trace::with_trace(|| run(system, problem, p));
+    TracedMeasurement {
+        elapsed: start.elapsed(),
+        output,
+        trace,
+    }
+}
+
+/// Runs one Figure-3 variant with [`perfmon::trace`] enabled.
+///
+/// Same global-state caveat as [`traced_run`].
+pub fn traced_run_variant(variant: Variant, p: &PreparedGraph) -> TracedMeasurement {
+    let start = Instant::now();
+    let (output, trace) = perfmon::trace::with_trace(|| run_variant(variant, p));
+    TracedMeasurement {
+        elapsed: start.elapsed(),
+        output,
+        trace,
+    }
+}
+
 fn run_lagraph<R: Runtime>(problem: Problem, p: &PreparedGraph, rt: R) -> ProblemOutput {
     match problem {
         Problem::Bfs => ProblemOutput::Levels(

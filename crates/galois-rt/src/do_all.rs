@@ -12,8 +12,35 @@
 //!   OpenMP's `schedule(static)` used by SuiteSparse.
 
 use crate::pool::{global_pool, threads};
+use perfmon::trace::{self, Event, LoopKind, LoopSpan};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Records one aggregated [`LoopSpan`] for a loop that just completed.
+///
+/// Called from the launching thread after the closing barrier, so it adds
+/// nothing to the per-iteration path.
+pub(crate) fn record_loop(
+    kind: LoopKind,
+    iterations: u64,
+    steals: u64,
+    rounds: u64,
+    bucket_visits: u64,
+    threads: u64,
+    started: Instant,
+) {
+    trace::record(Event::Loop(LoopSpan {
+        seq: 0,
+        kind,
+        iterations,
+        steals,
+        rounds,
+        bucket_visits,
+        threads,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    }));
+}
 
 /// Default number of iterations claimed per dynamic-scheduling grab.
 pub const DEFAULT_CHUNK: usize = 64;
@@ -53,10 +80,16 @@ where
     if len == 0 {
         return;
     }
+    // `Instant::now` only when tracing, to keep the disabled cost at one
+    // relaxed load.
+    let started = trace::enabled().then(Instant::now);
     let nthreads = threads();
     if nthreads == 1 || len <= chunk {
         for i in range {
             f(i);
+        }
+        if let Some(started) = started {
+            record_loop(LoopKind::DoAll, len as u64, 0, 1, 0, 1, started);
         }
         return;
     }
@@ -73,6 +106,17 @@ where
             f(base + i);
         }
     });
+    if let Some(started) = started {
+        record_loop(
+            LoopKind::DoAll,
+            len as u64,
+            0,
+            1,
+            0,
+            nthreads as u64,
+            started,
+        );
+    }
 }
 
 /// Runs `f(i)` for every `i` in `range` with one contiguous block per
@@ -85,10 +129,14 @@ where
     if len == 0 {
         return;
     }
+    let started = trace::enabled().then(Instant::now);
     let nthreads = threads().min(len);
     if nthreads == 1 {
         for i in range {
             f(i);
+        }
+        if let Some(started) = started {
+            record_loop(LoopKind::DoAllStatic, len as u64, 0, 1, 0, 1, started);
         }
         return;
     }
@@ -103,6 +151,17 @@ where
             f(base + i);
         }
     });
+    if let Some(started) = started {
+        record_loop(
+            LoopKind::DoAllStatic,
+            len as u64,
+            0,
+            1,
+            0,
+            nthreads as u64,
+            started,
+        );
+    }
 }
 
 /// Runs `f(tid, nthreads)` exactly once on each active thread.

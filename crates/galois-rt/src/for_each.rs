@@ -7,8 +7,11 @@
 //! iteration). This is exactly the execution model Section II-D of the
 //! paper says a matrix-based API cannot express.
 
+use crate::do_all::record_loop;
 use crate::pool::{global_pool, threads};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use perfmon::trace::{self, LoopKind};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 use substrate::deque::{Injector, Steal, Stealer, Worker};
 
 /// Handle passed to a [`for_each`] operator for generating new work.
@@ -66,6 +69,8 @@ where
     I: IntoIterator<Item = T>,
     F: Fn(T, &Ctx<'_, T>) + Sync,
 {
+    let traced = trace::enabled();
+    let started = traced.then(Instant::now);
     let injector = Injector::new();
     let mut count = 0usize;
     for item in initial {
@@ -77,6 +82,12 @@ where
     }
     let pending = AtomicUsize::new(count);
     let nthreads = threads();
+
+    // Trace tallies, touched only when tracing is on: each thread keeps
+    // local counts and folds them in once, after its drain loop exits.
+    let iterations = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let rounds = AtomicU64::new(0);
 
     let workers: Vec<Worker<T>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<T>> = workers.iter().map(|w| w.stealer()).collect();
@@ -95,12 +106,20 @@ where
             pending: &pending,
         };
         let mut backoff = 0u32;
+        let mut my_iterations = 0u64;
+        let mut my_steals = 0u64;
+        let mut my_rounds = 0u64;
         loop {
             let item = local
                 .pop()
                 .or_else(|| loop {
                     match injector.steal_batch_and_pop(&local) {
-                        Steal::Success(t) => break Some(t),
+                        Steal::Success(t) => {
+                            if traced {
+                                my_rounds += 1;
+                            }
+                            break Some(t);
+                        }
                         Steal::Empty => break None,
                         Steal::Retry => continue,
                     }
@@ -112,7 +131,12 @@ where
                         }
                         loop {
                             match stealer.steal_batch_and_pop(&local) {
-                                Steal::Success(t) => return Some(t),
+                                Steal::Success(t) => {
+                                    if traced {
+                                        my_steals += 1;
+                                    }
+                                    return Some(t);
+                                }
                                 Steal::Empty => break,
                                 Steal::Retry => continue,
                             }
@@ -123,6 +147,9 @@ where
             match item {
                 Some(item) => {
                     backoff = 0;
+                    if traced {
+                        my_iterations += 1;
+                    }
                     operator(item, &ctx);
                     pending.fetch_sub(1, Ordering::AcqRel);
                 }
@@ -139,9 +166,25 @@ where
                 }
             }
         }
+        if traced {
+            iterations.fetch_add(my_iterations, Ordering::Relaxed);
+            steals.fetch_add(my_steals, Ordering::Relaxed);
+            rounds.fetch_add(my_rounds, Ordering::Relaxed);
+        }
     });
 
     debug_assert_eq!(pending.load(Ordering::Relaxed), 0);
+    if let Some(started) = started {
+        record_loop(
+            LoopKind::ForEach,
+            iterations.into_inner(),
+            steals.into_inner(),
+            rounds.into_inner(),
+            0,
+            nthreads as u64,
+            started,
+        );
+    }
 }
 
 #[cfg(test)]

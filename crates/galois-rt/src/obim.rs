@@ -8,10 +8,13 @@
 //! ordering — which is exactly the contract asynchronous delta-stepping
 //! SSSP needs (`sssp-ls` in the paper).
 
+use crate::do_all::record_loop;
 use crate::pool::{global_pool, threads};
+use perfmon::trace::{self, LoopKind};
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 use substrate::sync::Mutex;
 
 /// Items drawn from the global bucket map per lock acquisition.
@@ -110,6 +113,8 @@ where
     P: Fn(&T) -> u64 + Sync,
     F: Fn(T, &OrderedCtx<'_, T>) + Sync,
 {
+    let traced = trace::enabled();
+    let started = traced.then(Instant::now);
     let buckets = Buckets {
         map: Mutex::new(BTreeMap::new()),
     };
@@ -128,10 +133,19 @@ where
     let pending = AtomicUsize::new(count);
     let nthreads = threads();
 
+    // Trace tallies, touched only when tracing is on: each thread keeps
+    // local counts and folds them in once, after its drain loop exits.
+    let iterations = AtomicU64::new(0);
+    let rounds = AtomicU64::new(0);
+    let bucket_visits = AtomicU64::new(0);
+
     global_pool().region(nthreads, |_tid| {
         let local: UnsafeCell<VecDeque<T>> = UnsafeCell::new(VecDeque::with_capacity(BATCH * 2));
         let mut current_prio = u64::MAX;
         let mut backoff = 0u32;
+        let mut my_iterations = 0u64;
+        let mut my_rounds = 0u64;
+        let mut my_bucket_visits = 0u64;
         loop {
             // SAFETY: `local` never escapes this thread except via the
             // `OrderedCtx` reference used inside `operator`, which runs on
@@ -140,6 +154,9 @@ where
             match item {
                 Some(item) => {
                     backoff = 0;
+                    if traced {
+                        my_iterations += 1;
+                    }
                     let ctx = OrderedCtx {
                         current_prio,
                         local: &local,
@@ -153,6 +170,12 @@ where
                     // Refill from the lowest global bucket.
                     match buckets.grab_batch(unsafe { &mut *local.get() }) {
                         Some(prio) => {
+                            if traced {
+                                my_bucket_visits += 1;
+                                if prio != current_prio {
+                                    my_rounds += 1;
+                                }
+                            }
                             current_prio = prio;
                             backoff = 0;
                         }
@@ -171,9 +194,25 @@ where
                 }
             }
         }
+        if traced {
+            iterations.fetch_add(my_iterations, Ordering::Relaxed);
+            rounds.fetch_add(my_rounds, Ordering::Relaxed);
+            bucket_visits.fetch_add(my_bucket_visits, Ordering::Relaxed);
+        }
     });
 
     debug_assert_eq!(pending.load(Ordering::Relaxed), 0);
+    if let Some(started) = started {
+        record_loop(
+            LoopKind::ForEachOrdered,
+            iterations.into_inner(),
+            0,
+            rounds.into_inner(),
+            bucket_visits.into_inner(),
+            nthreads as u64,
+            started,
+        );
+    }
 }
 
 #[cfg(test)]

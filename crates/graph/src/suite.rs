@@ -44,6 +44,11 @@ impl Scale {
         Scale { factor }
     }
 
+    /// The raw multiplier relative to [`Scale::study`].
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
     fn apply(&self, base: usize) -> usize {
         ((base as f64 * self.factor) as usize).max(16)
     }

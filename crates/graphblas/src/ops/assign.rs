@@ -40,8 +40,18 @@ where
             ));
         }
     }
+    let span = super::op_start(
+        super::OpKind::AssignScalar,
+        R::NAME,
+        mask.is_some(),
+        desc,
+    );
+    let input_nnz = mask.map_or(n, Vector::nvals);
     let Some(mask) = mask else {
         *w = Vector::new_dense(n, value);
+        if let Some(span) = span {
+            span.finish(input_nnz, w.nvals(), 0);
+        }
         return Ok(());
     };
 
@@ -74,6 +84,9 @@ where
                 });
             }
             bump_dense_nvals(w, added.reduce() as usize);
+            if let Some(span) = span {
+                span.finish(input_nnz, w.nvals(), 0);
+            }
             return Ok(());
         }
     }
@@ -103,6 +116,9 @@ where
         });
     }
     set_dense_nvals(w, kept.reduce() as usize);
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), 0);
+    }
     Ok(())
 }
 
@@ -129,6 +145,8 @@ where
             format!("w.size == {}", w.size()),
         ));
     }
+    let span = super::op_start_plain(super::OpKind::Apply, R::NAME);
+    let input_nnz = u.nvals();
     if let Some((uvals, upresent)) = u.dense_parts() {
         let n = u.size();
         let mut vals = vec![T::ZERO; n];
@@ -163,6 +181,9 @@ where
         }
         w.set_sparse(idx.to_vec(), vals);
     }
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), 0);
+    }
     Ok(())
 }
 
@@ -173,6 +194,8 @@ where
     T: Scalar,
     R: Runtime,
 {
+    let span = super::op_start_plain(super::OpKind::ApplyInplace, R::NAME);
+    let input_nnz = u.nvals();
     match u.dense_parts() {
         Some(_) => {
             let (vals, present) = dense_parts_mut(u);
@@ -204,6 +227,9 @@ where
                 }
             });
         }
+    }
+    if let Some(span) = span {
+        span.finish(input_nnz, u.nvals(), 0);
     }
 }
 

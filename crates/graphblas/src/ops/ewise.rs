@@ -42,6 +42,8 @@ where
     R: Runtime,
 {
     let n = check_sizes(w, u, v)?;
+    let span = super::op_start_plain(super::OpKind::EwiseAdd, R::NAME);
+    let input_nnz = u.nvals() + v.nvals();
     if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
         // Dense ∪ dense: one parallel pass.
         let mut vals = vec![T::ZERO; n];
@@ -69,6 +71,9 @@ where
             });
         }
         w.set_dense(vals, present);
+        if let Some(span) = span {
+            span.finish(input_nnz, w.nvals(), 0);
+        }
         return Ok(());
     }
     // Generic path: serial two-pointer merge over entry iterators.
@@ -113,6 +118,9 @@ where
         perfmon::touch_ref(vals.last().expect("just pushed"));
     }
     w.set_sparse(idx, vals);
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), 0);
+    }
     Ok(())
 }
 
@@ -134,6 +142,8 @@ where
     R: Runtime,
 {
     let n = check_sizes(w, u, v)?;
+    let span = super::op_start_plain(super::OpKind::EwiseMult, R::NAME);
+    let input_nnz = u.nvals() + v.nvals();
     if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
         let mut vals = vec![T::ZERO; n];
         let mut present = vec![false; n];
@@ -154,6 +164,9 @@ where
             });
         }
         w.set_dense(vals, present);
+        if let Some(span) = span {
+            span.finish(input_nnz, w.nvals(), 0);
+        }
         return Ok(());
     }
     let mut idx = Vec::new();
@@ -179,6 +192,9 @@ where
         }
     }
     w.set_sparse(idx, vals);
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), 0);
+    }
     Ok(())
 }
 

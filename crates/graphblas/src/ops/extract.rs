@@ -40,7 +40,11 @@ where
             });
         }
     }
+    let span = super::op_start_plain(super::OpKind::Extract, R::NAME);
+    let input_nnz = u.nvals();
     let n = indices.len();
+    // Dense gather target over the output dimension.
+    let materialized = n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>());
     let mut vals = vec![T::ZERO; n];
     let mut present = vec![false; n];
     {
@@ -60,6 +64,9 @@ where
         });
     }
     w.set_dense(vals, present);
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), materialized);
+    }
     Ok(())
 }
 

@@ -39,12 +39,17 @@ where
     R: Runtime,
 {
     check_dims(a, b)?;
-    merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
+    let span = super::op_start_plain(super::OpKind::EwiseAddMatrix, R::NAME);
+    let out = merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
         (Some(x), Some(y)) => Some(op.apply(x, y)),
         (Some(x), None) => Some(x),
         (None, Some(y)) => Some(y),
         (None, None) => None,
-    })
+    })?;
+    if let Some(span) = span {
+        span.finish(a.nvals() + b.nvals(), out.nvals(), 0);
+    }
+    Ok(out)
 }
 
 /// `C = A ⊗ B` over the intersection of structures.
@@ -64,10 +69,15 @@ where
     R: Runtime,
 {
     check_dims(a, b)?;
-    merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
+    let span = super::op_start_plain(super::OpKind::EwiseMultMatrix, R::NAME);
+    let out = merge_rows(a, b, rt, move |ac, bc| match (ac, bc) {
         (Some(x), Some(y)) => Some(op.apply(x, y)),
         _ => None,
-    })
+    })?;
+    if let Some(span) = span {
+        span.finish(a.nvals() + b.nvals(), out.nvals(), 0);
+    }
+    Ok(out)
 }
 
 fn merge_rows<T, R>(
@@ -124,6 +134,7 @@ where
     T: Scalar,
     R: Runtime,
 {
+    let span = super::op_start_plain(super::OpKind::ApplyMatrix, R::NAME);
     let nrows = a.nrows();
     let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
     {
@@ -143,7 +154,11 @@ where
             unsafe { *pr.get_mut(i) = out };
         });
     }
-    Matrix::from_rows(nrows, a.ncols(), rows)
+    let out = Matrix::from_rows(nrows, a.ncols(), rows);
+    if let Some(span) = span {
+        span.finish(a.nvals(), out.nvals(), 0);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -6,7 +6,73 @@
 //! separate pass over its operands — the *lightweight loops* limitation).
 //!
 //! All kernels are instrumented with [`perfmon`] hooks at element
-//! granularity so Tables IV and V can be regenerated.
+//! granularity so Tables IV and V can be regenerated, and with
+//! [`perfmon::trace`] spans at call granularity so the paper's pass /
+//! materialization / round attribution can be measured directly.
+
+use crate::descriptor::Descriptor;
+use perfmon::trace::{self, Event, MaskMode, OpKind, OpSpan};
+use std::time::Instant;
+
+/// Live span guard for one GraphBLAS call; `None` while tracing is off
+/// (the disabled cost is the one relaxed load inside
+/// [`perfmon::trace::enabled`]).
+pub(crate) struct OpTrace {
+    backend: &'static str,
+    kind: OpKind,
+    mask: MaskMode,
+    mask_complement: bool,
+    replace: bool,
+    started: Instant,
+}
+
+/// Opens a span for a masked / descriptor-carrying op.
+pub(crate) fn op_start(
+    kind: OpKind,
+    backend: &'static str,
+    mask_present: bool,
+    desc: &Descriptor,
+) -> Option<OpTrace> {
+    if !trace::enabled() {
+        return None;
+    }
+    let mask = match (mask_present, desc.mask_structural) {
+        (false, _) => MaskMode::None,
+        (true, false) => MaskMode::Value,
+        (true, true) => MaskMode::Structural,
+    };
+    Some(OpTrace {
+        backend,
+        kind,
+        mask,
+        mask_complement: mask_present && desc.mask_complement,
+        replace: desc.replace,
+        started: Instant::now(),
+    })
+}
+
+/// Opens a span for an op that takes neither a mask nor a descriptor.
+pub(crate) fn op_start_plain(kind: OpKind, backend: &'static str) -> Option<OpTrace> {
+    op_start(kind, backend, false, &Descriptor::default())
+}
+
+impl OpTrace {
+    /// Closes the span, recording the call into the trace.
+    pub(crate) fn finish(self, input_nnz: usize, output_nnz: usize, materialized_bytes: usize) {
+        trace::record(Event::Op(OpSpan {
+            seq: 0,
+            backend: self.backend,
+            kind: self.kind,
+            input_nnz: input_nnz as u64,
+            output_nnz: output_nnz as u64,
+            mask: self.mask,
+            mask_complement: self.mask_complement,
+            replace: self.replace,
+            materialized_bytes: materialized_bytes as u64,
+            elapsed_ns: self.started.elapsed().as_nanos() as u64,
+        }));
+    }
+}
 
 mod assign;
 mod ewise;

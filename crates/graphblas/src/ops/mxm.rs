@@ -66,6 +66,14 @@ where
         }
     }
 
+    let span = super::op_start(super::OpKind::Mxm, R::NAME, mask.is_some(), desc);
+    let input_nnz = a.nvals() + b.nvals();
+    let finish = |span: Option<super::OpTrace>, c: &Matrix<T>, materialized: usize| {
+        if let Some(span) = span {
+            span.finish(input_nnz, c.nvals(), materialized);
+        }
+    };
+
     let method = match desc.method {
         MethodHint::Auto => {
             if mask.is_some() && !desc.mask_complement {
@@ -84,7 +92,9 @@ where
 
     // GaloisBLAS diagonal specialization: C = D * B scales each row of B.
     if a.nvals() <= a.nrows() && a.is_diagonal() && !desc.transpose_b {
-        return Ok(diagonal_scale(mask, semiring, a, b, desc, rt));
+        let c = diagonal_scale(mask, semiring, a, b, desc, rt);
+        finish(span, &c, 0);
+        return Ok(c);
     }
 
     match method {
@@ -104,7 +114,9 @@ where
                 bt_storage = b.transpose();
                 &bt_storage
             };
-            Ok(dot_masked(mask, semiring, a, bt, desc, rt))
+            let c = dot_masked(mask, semiring, a, bt, desc, rt);
+            finish(span, &c, 0);
+            Ok(c)
         }
         MethodHint::Gustavson | MethodHint::Hash | MethodHint::Auto => {
             let bt_storage;
@@ -115,15 +127,20 @@ where
             } else {
                 b
             };
-            let c = if matches!(method, MethodHint::Hash) {
-                saxpy_hash(semiring, a, b_eff, rt)
+            let (c, materialized) = if matches!(method, MethodHint::Hash) {
+                (saxpy_hash(semiring, a, b_eff, rt), 0)
             } else {
-                saxpy_gustavson(semiring, a, b_eff, rt)
+                // Per-thread Gustavson dense accumulator (values + stamps).
+                let scratch = b_eff.ncols()
+                    * (std::mem::size_of::<T>() + std::mem::size_of::<u32>());
+                (saxpy_gustavson(semiring, a, b_eff, rt), scratch)
             };
-            Ok(match mask {
+            let c = match mask {
                 Some(m) => filter_by_mask(c, m, desc, rt),
                 None => c,
-            })
+            };
+            finish(span, &c, materialized);
+            Ok(c)
         }
     }
 }

@@ -15,7 +15,8 @@ where
     M: MonoidOp<T>,
     R: Runtime,
 {
-    if let Some((vals, present)) = u.dense_parts() {
+    let span = crate::ops::op_start_plain(crate::ops::OpKind::ReduceVector, R::NAME);
+    let out = if let Some((vals, present)) = u.dense_parts() {
         let partials: PerThread<T> = PerThread::new(|| monoid.identity());
         rt.parallel_for(vals.len(), |i| {
             perfmon::instr(1);
@@ -40,7 +41,11 @@ where
             .into_inner()
             .into_iter()
             .fold(monoid.identity(), |a, b| monoid.apply(a, b))
+    };
+    if let Some(span) = span {
+        span.finish(u.nvals(), 1, 0);
     }
+    out
 }
 
 /// Row-wise reduction of a matrix to a vector (`GrB_Matrix_reduce` with a
@@ -54,7 +59,10 @@ where
     M: MonoidOp<T>,
     R: Runtime,
 {
+    let span = crate::ops::op_start_plain(crate::ops::OpKind::ReduceRows, R::NAME);
     let n = a.nrows();
+    // Dense per-row result buffers.
+    let materialized = n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>());
     let mut vals = vec![T::ZERO; n];
     let mut present = vec![false; n];
     {
@@ -80,6 +88,9 @@ where
     }
     let mut out = crate::Vector::new(n);
     out.set_dense(vals, present);
+    if let Some(span) = span {
+        span.finish(a.nvals(), out.nvals(), materialized);
+    }
     out
 }
 
@@ -91,6 +102,7 @@ where
     M: MonoidOp<T>,
     R: Runtime,
 {
+    let span = crate::ops::op_start_plain(crate::ops::OpKind::ReduceMatrix, R::NAME);
     let partials: PerThread<T> = PerThread::new(|| monoid.identity());
     rt.parallel_for(a.nrows(), |i| {
         let (_, vals) = a.row(i as u32);
@@ -102,10 +114,14 @@ where
             }
         });
     });
-    partials
+    let out = partials
         .into_inner()
         .into_iter()
-        .fold(monoid.identity(), |a, b| monoid.apply(a, b))
+        .fold(monoid.identity(), |a, b| monoid.apply(a, b));
+    if let Some(span) = span {
+        span.finish(a.nvals(), 1, 0);
+    }
+    out
 }
 
 #[cfg(test)]

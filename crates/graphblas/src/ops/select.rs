@@ -26,6 +26,7 @@ pub fn select_vector<T, R>(
     T: Scalar,
     R: Runtime,
 {
+    let span = super::op_start_plain(super::OpKind::SelectVector, R::NAME);
     let builder = crate::vector::VectorBuilder::new(u.size());
     if let Some((vals, present)) = u.dense_parts() {
         rt.parallel_for(vals.len(), |i| {
@@ -47,6 +48,9 @@ pub fn select_vector<T, R>(
     }
     // Input entries are unique, so the dup op is never called.
     *w = builder.finalize(|a, _| a);
+    if let Some(span) = span {
+        span.finish(u.nvals(), w.nvals(), 0);
+    }
 }
 
 /// Returns the entries of `a` that satisfy `pred(row, col, value)`, with
@@ -60,6 +64,7 @@ where
     T: Scalar,
     R: Runtime,
 {
+    let span = super::op_start_plain(super::OpKind::SelectMatrix, R::NAME);
     let nrows = a.nrows();
     let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
     {
@@ -78,7 +83,11 @@ where
             unsafe { *pr.get_mut(i) = kept };
         });
     }
-    Matrix::from_rows(nrows, a.ncols(), rows)
+    let out = Matrix::from_rows(nrows, a.ncols(), rows);
+    if let Some(span) = span {
+        span.finish(a.nvals(), out.nvals(), 0);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -62,11 +62,20 @@ where
         }
     }
 
+    let span = super::op_start(
+        super::OpKind::Vxm,
+        R::NAME,
+        mask.is_some(),
+        desc,
+    );
+
     // Materialize the input entries so the parallel loop can index them.
     let entries: Vec<(u32, T)> = u.entries();
+    let input_nnz = entries.len();
     // Dense accumulator over the output dimension: the intermediate the
     // matrix API cannot avoid.
     let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
+    let materialized = a.ncols() * std::mem::size_of::<T>();
     let add = |x, y| semiring.add(x, y);
     rt.parallel_for(entries.len(), |p| {
         let (i, x) = entries[p];
@@ -87,6 +96,9 @@ where
     });
 
     store_accumulator(w, acc, desc.replace);
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), materialized);
+    }
     Ok(())
 }
 
@@ -136,8 +148,19 @@ where
         }
     }
 
+    let span = super::op_start(
+        super::OpKind::Mxv,
+        R::NAME,
+        mask.is_some(),
+        desc,
+    );
+    let input_nnz = u.nvals();
+
     let n = a.nrows();
     let udense = u.dense_parts();
+    // Dense value + presence buffers over the output dimension: the pull
+    // kernel's materialization.
+    let materialized = n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>());
     let mut vals = vec![T::ZERO; n];
     let mut present = vec![false; n];
     {
@@ -196,6 +219,9 @@ where
             }
         }
         w.set_dense(merged_vals, merged_present);
+    }
+    if let Some(span) = span {
+        span.finish(input_nnz, w.nvals(), materialized);
     }
     Ok(())
 }

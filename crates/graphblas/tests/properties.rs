@@ -38,6 +38,17 @@ fn arb_vector(g: &mut Gen) -> Vector<u64> {
     v
 }
 
+/// A mask vector that includes explicit zeros, so valued and structural
+/// masking genuinely differ.
+fn arb_mask(g: &mut Gen) -> Vector<u64> {
+    let entries = g.gen_range(0..N);
+    let mut m = std::collections::BTreeMap::new();
+    for _ in 0..entries {
+        m.insert(g.gen_range(0u32..N as u32), g.gen_range(0u64..3));
+    }
+    Vector::from_entries(N, m.into_iter().collect()).expect("unique, in-range")
+}
+
 /// Dense reference product under plus_times.
 fn dense_mxm(a: &Matrix<u64>, b: &Matrix<u64>) -> Vec<(u32, u32, u64)> {
     let mut out = Vec::new();
@@ -136,6 +147,56 @@ fn vxm_equals_mxv_on_transpose() {
             )
             .unwrap();
             prop_assert_eq!(push.entries(), pull.entries());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn vxm_equals_mxv_under_every_descriptor() {
+    // The push (vxm) and pull (mxv on the transpose) kernels must agree
+    // under every mask/descriptor mode: mask presence x complement x
+    // replace x structural — the 8 masked descriptor combinations plus
+    // the two unmasked ones. Fresh empty outputs on both sides, because
+    // merge semantics into a non-empty output are exercised separately.
+    prop::check(
+        "vxm_equals_mxv_under_every_descriptor",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_vector(g), arb_mask(g)),
+        |(a, u, mask)| {
+            let at = a.transpose();
+            for masked in [false, true] {
+                for complement in [false, true] {
+                    for replace in [false, true] {
+                        for structural in [false, true] {
+                            if !masked && (complement || structural) {
+                                // Mask modifiers are no-ops without a mask.
+                                continue;
+                            }
+                            let desc = Descriptor::new()
+                                .with_mask_complement(complement)
+                                .with_replace(replace)
+                                .with_mask_structural(structural);
+                            let m: Option<&Vector<u64>> = masked.then_some(mask);
+                            let mut push: Vector<u64> = Vector::new(N);
+                            ops::vxm(&mut push, m, PlusTimes, u, a, &desc, GaloisRuntime)
+                                .unwrap();
+                            let mut pull: Vector<u64> = Vector::new(N);
+                            ops::mxv(&mut pull, m, PlusTimes, &at, u, &desc, StaticRuntime)
+                                .unwrap();
+                            prop_assert_eq!(
+                                push.entries(),
+                                pull.entries(),
+                                "mask={} comp={} replace={} structural={}",
+                                masked,
+                                complement,
+                                replace,
+                                structural
+                            );
+                        }
+                    }
+                }
+            }
             Ok(())
         },
     );

@@ -47,6 +47,7 @@ pub mod alloc;
 pub mod cache;
 pub mod counters;
 pub mod report;
+pub mod trace;
 
 pub use counters::{enable, enabled, instr, reset, snapshot, touch, touch_ref, Counters};
 pub use report::PerfReport;

@@ -1,0 +1,599 @@
+//! Structured op-level tracing.
+//!
+//! The paper's differential analysis attributes the matrix API's slowdowns
+//! to *extra passes*, *materialized intermediates*, *bulk-only operations*
+//! and *round-based execution* (§II-D). This module measures those
+//! quantities directly instead of inferring them: every GraphBLAS call
+//! records an [`OpSpan`] (op kind, input/output nnz, mask/descriptor mode,
+//! materialized accumulator bytes, elapsed ns) and every `galois-rt`
+//! parallel loop records a [`LoopSpan`] (iterations, steals, rounds, OBIM
+//! bucket visits).
+//!
+//! Spans are pushed into per-thread ring buffers (bounded at
+//! [`RING_CAPACITY`] events; overflow evicts the oldest and is counted)
+//! and merged into a single sequence-ordered [`Trace`] by [`collect`].
+//! Tracing is off by default; when disabled every hook is a single relaxed
+//! atomic load, so timing runs and traced runs execute the same code —
+//! the same design as the [`crate::counters`] hooks.
+//!
+//! ## Example
+//!
+//! ```
+//! use perfmon::trace::{self, Event, LoopKind, LoopSpan};
+//!
+//! let (out, t) = trace::with_trace(|| {
+//!     trace::record(Event::Loop(LoopSpan {
+//!         seq: 0, // assigned by record()
+//!         kind: LoopKind::DoAll,
+//!         iterations: 100,
+//!         steals: 0,
+//!         rounds: 1,
+//!         bucket_visits: 0,
+//!         threads: 1,
+//!         elapsed_ns: 42,
+//!     }));
+//!     "done"
+//! });
+//! assert_eq!(out, "done");
+//! assert_eq!(t.summary().loops, 1);
+//! assert_eq!(t.summary().iterations, 100);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use substrate::sync::Mutex;
+
+/// Maximum events held per thread before the oldest are evicted.
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// The GraphBLAS API call a span describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// `GrB_vxm` — push-style sparse vector × matrix.
+    Vxm,
+    /// `GrB_mxv` — pull-style matrix × vector.
+    Mxv,
+    /// `GrB_mxm` — SpGEMM.
+    Mxm,
+    /// `GrB_eWiseAdd` on vectors (structure union).
+    EwiseAdd,
+    /// `GrB_eWiseMult` on vectors (structure intersection).
+    EwiseMult,
+    /// `GrB_eWiseAdd` on matrices.
+    EwiseAddMatrix,
+    /// `GrB_eWiseMult` on matrices.
+    EwiseMultMatrix,
+    /// `GrB_apply` on a vector.
+    Apply,
+    /// `GrB_apply` with output aliasing input.
+    ApplyInplace,
+    /// `GrB_apply` on a matrix.
+    ApplyMatrix,
+    /// `GrB_assign` with a scalar and `GrB_ALL`.
+    AssignScalar,
+    /// `GrB_extract` (gather).
+    Extract,
+    /// `GrB_reduce` of a vector to a scalar.
+    ReduceVector,
+    /// `GrB_reduce` of a matrix to a scalar.
+    ReduceMatrix,
+    /// Row-wise `GrB_Matrix_reduce` to a vector.
+    ReduceRows,
+    /// `GxB_select` on a vector.
+    SelectVector,
+    /// `GxB_select` on a matrix.
+    SelectMatrix,
+}
+
+impl OpKind {
+    /// Stable lowercase label used in trace dumps and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Vxm => "vxm",
+            OpKind::Mxv => "mxv",
+            OpKind::Mxm => "mxm",
+            OpKind::EwiseAdd => "ewise_add",
+            OpKind::EwiseMult => "ewise_mult",
+            OpKind::EwiseAddMatrix => "ewise_add_matrix",
+            OpKind::EwiseMultMatrix => "ewise_mult_matrix",
+            OpKind::Apply => "apply",
+            OpKind::ApplyInplace => "apply_inplace",
+            OpKind::ApplyMatrix => "apply_matrix",
+            OpKind::AssignScalar => "assign_scalar",
+            OpKind::Extract => "extract",
+            OpKind::ReduceVector => "reduce_vector",
+            OpKind::ReduceMatrix => "reduce_matrix",
+            OpKind::ReduceRows => "reduce_rows",
+            OpKind::SelectVector => "select_vector",
+            OpKind::SelectMatrix => "select_matrix",
+        }
+    }
+
+    /// Whether this op is a matrix-product pass (one bfs/pr/sssp "round").
+    pub fn is_product(&self) -> bool {
+        matches!(self, OpKind::Vxm | OpKind::Mxv | OpKind::Mxm)
+    }
+}
+
+/// How an op's mask filtered its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaskMode {
+    /// No mask supplied.
+    #[default]
+    None,
+    /// Mask by stored values (`is_nonzero`).
+    Value,
+    /// Mask by structure (`GrB_STRUCTURE`).
+    Structural,
+}
+
+impl MaskMode {
+    /// Stable lowercase label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaskMode::None => "none",
+            MaskMode::Value => "value",
+            MaskMode::Structural => "structural",
+        }
+    }
+}
+
+/// One GraphBLAS API call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// Global order of completion (assigned by [`record`]).
+    pub seq: u64,
+    /// Backend the kernel ran on ("SS" or "GB").
+    pub backend: &'static str,
+    /// Which API call.
+    pub kind: OpKind,
+    /// Explicit entries read from the primary input.
+    pub input_nnz: u64,
+    /// Explicit entries in the output after the call.
+    pub output_nnz: u64,
+    /// Mask interpretation.
+    pub mask: MaskMode,
+    /// `GrB_COMP` on the mask.
+    pub mask_complement: bool,
+    /// `GrB_REPLACE` output semantics.
+    pub replace: bool,
+    /// Bytes of dense intermediate the kernel materialized (accumulators,
+    /// scatter buffers); the paper's *materialization* cost.
+    pub materialized_bytes: u64,
+    /// Wall time of the call.
+    pub elapsed_ns: u64,
+}
+
+/// The parallel-loop construct a [`LoopSpan`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LoopKind {
+    /// `galois_rt::do_all` (dynamic chunk self-scheduling).
+    DoAll,
+    /// `galois_rt::do_all_static` (OpenMP-style static blocks).
+    DoAllStatic,
+    /// `galois_rt::for_each` (asynchronous work-list).
+    ForEach,
+    /// `galois_rt::for_each_ordered` (OBIM soft priorities).
+    ForEachOrdered,
+}
+
+impl LoopKind {
+    /// Stable lowercase label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopKind::DoAll => "do_all",
+            LoopKind::DoAllStatic => "do_all_static",
+            LoopKind::ForEach => "for_each",
+            LoopKind::ForEachOrdered => "for_each_ordered",
+        }
+    }
+}
+
+/// One runtime parallel loop (a `do_all`/`for_each` launch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSpan {
+    /// Global order of completion (assigned by [`record`]).
+    pub seq: u64,
+    /// Which loop construct.
+    pub kind: LoopKind,
+    /// Operator applications (range length for `do_all`, items processed
+    /// for work-list loops).
+    pub iterations: u64,
+    /// Successful steals from another thread's deque (work-list loops).
+    pub steals: u64,
+    /// Scheduling rounds: 1 for `do_all`, global-injector refills for
+    /// `for_each`, priority-level transitions for OBIM.
+    pub rounds: u64,
+    /// OBIM bucket refills ([`LoopKind::ForEachOrdered`] only).
+    pub bucket_visits: u64,
+    /// Threads the loop ran on.
+    pub threads: u64,
+    /// Wall time of the loop (including the closing barrier).
+    pub elapsed_ns: u64,
+}
+
+/// A trace event: either an API call or a runtime loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A GraphBLAS call.
+    Op(OpSpan),
+    /// A runtime parallel loop.
+    Loop(LoopSpan),
+}
+
+impl Event {
+    /// The event's global completion order.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Event::Op(s) => s.seq,
+            Event::Loop(s) => s.seq,
+        }
+    }
+}
+
+/// Per-thread ring: bounded event storage plus an eviction count.
+#[derive(Default)]
+struct Ring {
+    events: Vec<Event>,
+    /// Index of the logical start when the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, e: Event) {
+        if self.events.len() < RING_CAPACITY {
+            self.events.push(e);
+        } else {
+            self.events[self.head] = e;
+            self.head = (self.head + 1) % RING_CAPACITY;
+            self.dropped += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static RINGS: Mutex<Vec<&'static Mutex<Ring>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static RING: std::cell::Cell<Option<&'static Mutex<Ring>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    RING.with(|r| match r.get() {
+        Some(ring) => ring,
+        None => {
+            // Leaked intentionally: pool threads live for the whole
+            // process, so the ring count is bounded by the thread count.
+            let ring: &'static Mutex<Ring> = Box::leak(Box::new(Mutex::new(Ring::default())));
+            r.set(Some(ring));
+            RINGS.lock().push(ring);
+            ring
+        }
+    })
+}
+
+/// Turns tracing on or off globally.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on (one relaxed load — the full cost of
+/// every hook while disabled).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one event into the calling thread's ring (no-op while
+/// disabled). The event's `seq` field is overwritten with the next global
+/// sequence number.
+pub fn record(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let stamped = match event {
+        Event::Op(mut s) => {
+            s.seq = seq;
+            Event::Op(s)
+        }
+        Event::Loop(mut s) => {
+            s.seq = seq;
+            Event::Loop(s)
+        }
+    };
+    ring().lock().push(stamped);
+}
+
+/// Clears every thread's ring and the global sequence counter.
+///
+/// Call only while no traced parallel work is in flight.
+pub fn reset() {
+    for ring in RINGS.lock().iter() {
+        ring.lock().clear();
+    }
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+/// Merges every thread's ring into one sequence-ordered [`Trace`]
+/// (non-destructive).
+///
+/// Call only after traced work has completed (every loop construct is a
+/// barrier, so "after the traced closure returned" is sufficient).
+pub fn collect() -> Trace {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in RINGS.lock().iter() {
+        let ring = ring.lock();
+        events.extend_from_slice(&ring.events);
+        dropped += ring.dropped;
+    }
+    events.sort_by_key(Event::seq);
+    Trace { events, dropped }
+}
+
+/// Runs `f` with tracing enabled on a fresh trace and returns its output
+/// together with the merged trace.
+///
+/// Trace state is process-global: concurrent `with_trace` calls observe
+/// each other's spans, so callers (tests in particular) must serialize.
+pub fn with_trace<T>(f: impl FnOnce() -> T) -> (T, Trace) {
+    reset();
+    enable(true);
+    let out = f();
+    enable(false);
+    (out, collect())
+}
+
+/// A merged, ordered collection of trace events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Events in global completion order.
+    pub events: Vec<Event>,
+    /// Events evicted from full rings (0 means the trace is complete).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The GraphBLAS call spans, in order.
+    pub fn ops(&self) -> impl Iterator<Item = &OpSpan> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Op(s) => Some(s),
+            Event::Loop(_) => None,
+        })
+    }
+
+    /// The runtime loop spans, in order.
+    pub fn loops(&self) -> impl Iterator<Item = &LoopSpan> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Loop(s) => Some(s),
+            Event::Op(_) => None,
+        })
+    }
+
+    /// Number of op spans of `kind`.
+    pub fn count_ops(&self, kind: OpKind) -> u64 {
+        self.ops().filter(|s| s.kind == kind).count() as u64
+    }
+
+    /// Aggregates the trace into the quantities the paper reports.
+    pub fn summary(&self) -> TraceSummary {
+        let mut s = TraceSummary {
+            dropped: self.dropped,
+            ..TraceSummary::default()
+        };
+        for e in &self.events {
+            match e {
+                Event::Op(op) => {
+                    s.ops += 1;
+                    s.materialized_bytes += op.materialized_bytes;
+                    if op.kind.is_product() {
+                        s.product_rounds += 1;
+                    }
+                }
+                Event::Loop(l) => {
+                    s.loops += 1;
+                    s.iterations += l.iterations;
+                    s.steals += l.steals;
+                    s.loop_rounds += l.rounds;
+                    s.bucket_visits += l.bucket_visits;
+                }
+            }
+        }
+        // A "pass" is one full parallel sweep over an operand: on the
+        // matrix API every call is one, on the graph API every loop is.
+        s.passes = if s.ops > 0 { s.ops } else { s.loops };
+        s
+    }
+
+    /// A timing- and scheduling-stripped projection for determinism
+    /// checks: op spans keep every structural field (kind, backend, nnz,
+    /// mask mode, materialized bytes); loop spans keep kind and
+    /// iterations. Elapsed times, steal counts and bucket visits — the
+    /// fields legitimately perturbed by scheduling — are dropped.
+    pub fn fingerprint(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Op(s) => format!(
+                    "op {} {} in={} out={} mask={} comp={} replace={} mat={}",
+                    s.backend,
+                    s.kind.name(),
+                    s.input_nnz,
+                    s.output_nnz,
+                    s.mask.name(),
+                    s.mask_complement,
+                    s.replace,
+                    s.materialized_bytes,
+                ),
+                Event::Loop(s) => format!("loop {} iters={}", s.kind.name(), s.iterations),
+            })
+            .collect()
+    }
+}
+
+/// Aggregate quantities of one [`Trace`] (the per-cell numbers
+/// `BENCH_baseline.json` reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// GraphBLAS API calls.
+    pub ops: u64,
+    /// Runtime loop launches.
+    pub loops: u64,
+    /// Passes over operands: `ops` on the matrix API, `loops` otherwise.
+    pub passes: u64,
+    /// Matrix-product calls (`vxm`/`mxv`/`mxm`) — the matrix API's rounds.
+    pub product_rounds: u64,
+    /// Sum of per-loop scheduling rounds.
+    pub loop_rounds: u64,
+    /// Total operator applications across loops.
+    pub iterations: u64,
+    /// Successful work steals.
+    pub steals: u64,
+    /// OBIM bucket refills.
+    pub bucket_visits: u64,
+    /// Dense intermediate bytes materialized by GraphBLAS kernels.
+    pub materialized_bytes: u64,
+    /// Events lost to ring eviction.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Trace state is process-global; serialize the tests that use it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn op(kind: OpKind, materialized: u64) -> Event {
+        Event::Op(OpSpan {
+            seq: 0,
+            backend: "GB",
+            kind,
+            input_nnz: 3,
+            output_nnz: 5,
+            mask: MaskMode::Value,
+            mask_complement: true,
+            replace: true,
+            materialized_bytes: materialized,
+            elapsed_ns: 17,
+        })
+    }
+
+    fn lp(kind: LoopKind, iterations: u64) -> Event {
+        Event::Loop(LoopSpan {
+            seq: 0,
+            kind,
+            iterations,
+            steals: 2,
+            rounds: 1,
+            bucket_visits: 0,
+            threads: 4,
+            elapsed_ns: 11,
+        })
+    }
+
+    #[test]
+    fn disabled_record_is_a_noop() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable(false);
+        record(op(OpKind::Vxm, 64));
+        assert!(collect().events.is_empty());
+    }
+
+    #[test]
+    fn with_trace_collects_in_order() {
+        let _g = LOCK.lock().unwrap();
+        let ((), t) = with_trace(|| {
+            record(op(OpKind::AssignScalar, 0));
+            record(lp(LoopKind::DoAll, 10));
+            record(op(OpKind::Vxm, 128));
+        });
+        assert_eq!(t.events.len(), 3);
+        let seqs: Vec<u64> = t.events.iter().map(Event::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(t.count_ops(OpKind::Vxm), 1);
+        let s = t.summary();
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.loops, 1);
+        assert_eq!(s.passes, 2, "matrix-API trace counts ops as passes");
+        assert_eq!(s.product_rounds, 1);
+        assert_eq!(s.materialized_bytes, 128);
+        assert_eq!(s.iterations, 10);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn loop_only_trace_counts_loops_as_passes() {
+        let _g = LOCK.lock().unwrap();
+        let ((), t) = with_trace(|| {
+            record(lp(LoopKind::ForEach, 100));
+            record(lp(LoopKind::ForEachOrdered, 50));
+        });
+        let s = t.summary();
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.passes, 2);
+        assert_eq!(s.steals, 4);
+    }
+
+    #[test]
+    fn fingerprint_strips_timing_and_scheduling() {
+        let _g = LOCK.lock().unwrap();
+        let ((), a) = with_trace(|| {
+            record(op(OpKind::Vxm, 64));
+            record(lp(LoopKind::DoAll, 7));
+        });
+        let ((), b) = with_trace(|| {
+            let mut o = match op(OpKind::Vxm, 64) {
+                Event::Op(s) => s,
+                _ => unreachable!(),
+            };
+            o.elapsed_ns = 999_999; // timing differs
+            record(Event::Op(o));
+            let mut l = match lp(LoopKind::DoAll, 7) {
+                Event::Loop(s) => s,
+                _ => unreachable!(),
+            };
+            l.steals = 77; // scheduling differs
+            record(Event::Loop(l));
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn ring_eviction_is_counted() {
+        let mut ring = Ring::default();
+        for _ in 0..(RING_CAPACITY + 5) {
+            ring.push(lp(LoopKind::DoAll, 1));
+        }
+        assert_eq!(ring.events.len(), RING_CAPACITY);
+        assert_eq!(ring.dropped, 5);
+        ring.clear();
+        assert_eq!(ring.dropped, 0);
+        assert!(ring.events.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_other_threads_rings() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable(true);
+        std::thread::spawn(|| record(op(OpKind::Apply, 0)))
+            .join()
+            .unwrap();
+        enable(false);
+        assert_eq!(collect().events.len(), 1);
+        reset();
+        assert!(collect().events.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_baseline.json files and flag wall-time regressions.
+
+Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
+                                        [--fail-on-regression]
+
+Both files must carry the same ``schema`` string ("graph-api-study/
+bench-baseline/v1"); a mismatch is a hard failure (exit 2) because the
+cells are not comparable across schema revisions. Cells are keyed by
+(problem, system, graph). For every cell present in both files the
+tracing-off ``wall_s`` is compared; a slowdown beyond the threshold
+(default 20%) is reported as a regression.
+
+By default regressions only warn (exit 0) — CI wall times on shared
+runners are too noisy for a hard gate — but ``--fail-on-regression``
+turns them into exit 1 for local use. Missing cells, unverified cells,
+and trace-counter drifts (passes / product_rounds / materialized_bytes,
+which are deterministic and *should* be stable) are always reported.
+
+Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
+or malformed input, 2 schema mismatch.
+"""
+
+import json
+import sys
+
+SCHEMA = "graph-api-study/bench-baseline/v1"
+# Trace counters that are deterministic for a fixed (scale, graph, problem,
+# system) — a drift here means algorithmic behaviour changed, not noise.
+STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
+# Ignore relative slowdowns below this absolute delta: sub-millisecond
+# cells are pure timer noise at any percentage.
+MIN_DELTA_S = 0.005
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+    if not isinstance(doc, dict) or "schema" not in doc or "cells" not in doc:
+        print(f"error: {path} is not a bench-baseline document", file=sys.stderr)
+        sys.exit(1)
+    return doc
+
+
+def key(cell):
+    return (cell["problem"], cell["system"], cell["graph"])
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    fail_on_regression = "--fail-on-regression" in argv
+    threshold = 20.0
+    if "--threshold" in argv:
+        i = argv.index("--threshold")
+        try:
+            threshold = float(argv[i + 1])
+            args.remove(argv[i + 1])
+        except (IndexError, ValueError):
+            print("error: --threshold needs a number", file=sys.stderr)
+            return 1
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    base_path, cur_path = args
+    base, cur = load(base_path), load(cur_path)
+
+    if base["schema"] != SCHEMA or cur["schema"] != SCHEMA:
+        print(
+            f"error: schema mismatch: {base_path} has {base['schema']!r}, "
+            f"{cur_path} has {cur['schema']!r}, expected {SCHEMA!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    base_cells = {key(c): c for c in base["cells"]}
+    cur_cells = {key(c): c for c in cur["cells"]}
+    comparable = base.get("scale") == cur.get("scale")
+    if not comparable:
+        print(
+            f"note: scales differ ({base.get('scale')} vs {cur.get('scale')}); "
+            "wall times and counters are not comparable, checking coverage only"
+        )
+
+    regressions, warnings, errors = [], [], []
+
+    for k in sorted(base_cells):
+        if k not in cur_cells:
+            errors.append(f"cell {k} missing from {cur_path}")
+    for k in sorted(cur_cells):
+        if k not in base_cells:
+            warnings.append(f"new cell {k} (not in {base_path})")
+
+    for k in sorted(set(base_cells) & set(cur_cells)):
+        b, c = base_cells[k], cur_cells[k]
+        name = "/".join(k)
+        if not c.get("verified", False):
+            errors.append(f"{name}: current run is not verified")
+        if not comparable:
+            continue
+        bw, cw = b["wall_s"], c["wall_s"]
+        if bw > 0 and cw - bw > MIN_DELTA_S and cw > bw * (1 + threshold / 100.0):
+            regressions.append(
+                f"{name}: wall {bw:.4f}s -> {cw:.4f}s "
+                f"(+{(cw / bw - 1) * 100.0:.0f}%, threshold {threshold:.0f}%)"
+            )
+        bt, ct = b.get("trace", {}), c.get("trace", {})
+        for counter in STABLE_COUNTERS:
+            if counter in bt and counter in ct and bt[counter] != ct[counter]:
+                warnings.append(
+                    f"{name}: {counter} drifted {bt[counter]} -> {ct[counter]}"
+                )
+
+    for msg in errors:
+        print(f"ERROR: {msg}")
+    for msg in regressions:
+        print(f"REGRESSION: {msg}")
+    for msg in warnings:
+        print(f"warning: {msg}")
+
+    shared = len(set(base_cells) & set(cur_cells))
+    print(
+        f"compared {shared} cells: {len(regressions)} regression(s), "
+        f"{len(warnings)} warning(s), {len(errors)} error(s)"
+    )
+    if errors:
+        return 1
+    if regressions and fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,8 +1,10 @@
 //! Integration: every system computes verified results on every study
-//! graph shape (at test scale).
+//! graph shape (at test scale), and every Figure 3 algorithm variant
+//! agrees with the serial reference on those same shapes.
 
 use graph_api_study::graph::{Scale, StudyGraph};
-use graph_api_study::study_core::{run, verify, PreparedGraph, Problem, System};
+use graph_api_study::study_core::runner::run_variant;
+use graph_api_study::study_core::{run, verify, PreparedGraph, Problem, System, Variant};
 
 fn check_all_problems(which: StudyGraph) {
     let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
@@ -16,32 +18,59 @@ fn check_all_problems(which: StudyGraph) {
     }
 }
 
+/// Every Figure 3 panel variant (pr, tc, cc, sssp) verified against the
+/// serial reference on one shape.
+fn check_variant_panels(which: StudyGraph) {
+    let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
+    for problem in [Problem::Pr, Problem::Tc, Problem::Cc, Problem::Sssp] {
+        let panel = Variant::panel(problem);
+        assert!(!panel.is_empty(), "{problem} has no Figure 3 panel");
+        for &variant in panel {
+            assert_eq!(variant.problem(), problem);
+            let out = run_variant(variant, &p);
+            verify::verify(&p, problem, &out).unwrap_or_else(|e| {
+                panic!("{} {problem} on {}: {e}", variant.name(), p.name);
+            });
+        }
+    }
+}
+
+fn check_shape(which: StudyGraph) {
+    check_all_problems(which);
+    check_variant_panels(which);
+}
+
 #[test]
 fn road_network_shape() {
-    check_all_problems(StudyGraph::RoadUsaW);
+    check_shape(StudyGraph::RoadUsaW);
 }
 
 #[test]
 fn power_law_shape() {
-    check_all_problems(StudyGraph::Rmat22);
+    check_shape(StudyGraph::Rmat22);
 }
 
 #[test]
 fn web_crawl_shape() {
-    check_all_problems(StudyGraph::Uk07);
+    check_shape(StudyGraph::Uk07);
 }
 
 #[test]
 fn social_network_shape() {
-    check_all_problems(StudyGraph::Twitter40);
+    check_shape(StudyGraph::Twitter40);
 }
 
 #[test]
 fn undirected_social_shape() {
-    check_all_problems(StudyGraph::Friendster);
+    check_shape(StudyGraph::Friendster);
 }
 
 #[test]
 fn dense_community_shape() {
-    check_all_problems(StudyGraph::Eukarya);
+    check_shape(StudyGraph::Eukarya);
+}
+
+#[test]
+fn weighted_road_shape() {
+    check_shape(StudyGraph::RoadUsa);
 }

@@ -9,6 +9,11 @@
 //!    *results* must not depend on the thread count: bfs, cc and pagerank
 //!    produce identical output on 1, 2 and the default number of threads,
 //!    on both the Lonestar and the GaloisBLAS paths.
+//! 3. Traces are deterministic: two traced runs at the same seed and
+//!    thread count produce identical event streams once the
+//!    scheduling-perturbed fields (timings, steals, bucket visits) are
+//!    stripped — the invariant `scripts/compare_bench.py` relies on when
+//!    it flags counter drifts.
 
 use graph_api_study::galois_rt;
 use graph_api_study::graph::gen::{
@@ -106,6 +111,31 @@ fn algorithm_results_do_not_depend_on_thread_count() {
     across_thread_counts("lagraph pagerank scores", || {
         lagraph::pagerank::pagerank(&g, 10, GaloisRuntime).unwrap()
     });
+}
+
+#[test]
+fn traces_are_deterministic_across_repeated_runs() {
+    use graph_api_study::graph::{Scale, StudyGraph};
+    use graph_api_study::study_core::{traced_run, PreparedGraph, Problem, System};
+
+    // Tracing state is process-global, so serialize against the other
+    // pool-reconfiguring tests. Graph preparation happens outside the
+    // traced region.
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 64.0));
+    for system in System::all() {
+        for problem in [Problem::Bfs, Problem::Cc, Problem::Sssp] {
+            let a = traced_run(system, problem, &p);
+            let b = traced_run(system, problem, &p);
+            assert_eq!(a.output, b.output, "{system} {problem} output");
+            assert_eq!(
+                a.trace.fingerprint(),
+                b.trace.fingerprint(),
+                "{system} {problem}: trace fingerprints differ between runs"
+            );
+            assert_eq!(a.trace.dropped, 0, "{system} {problem} dropped events");
+        }
+    }
 }
 
 #[test]

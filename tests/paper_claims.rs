@@ -108,6 +108,51 @@ fn pr_double_traversal_of_residual_shows_in_memory_accesses() {
 }
 
 #[test]
+fn traced_bfs_shows_extra_passes_and_materialization() {
+    // §V-B bfs through the op-level trace instead of the hardware-model
+    // counters: the matrix API issues at least as many passes over the
+    // data as the graph API (several GrB calls per round vs one fused
+    // loop), and materializes a dense accumulator on every vxm round
+    // while the graph API materializes nothing.
+    use graph_api_study::perfmon::trace::OpKind;
+    use graph_api_study::study_core::traced_run;
+    let _guard = PERF_LOCK.lock().unwrap();
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 32.0));
+    let gb = traced_run(System::GaloisBlas, Problem::Bfs, &p);
+    let ls = traced_run(System::Lonestar, Problem::Bfs, &p);
+
+    let gbs = gb.trace.summary();
+    let lss = ls.trace.summary();
+    assert!(
+        gbs.passes >= lss.passes,
+        "GB must issue at least as many passes as LS ({} vs {})",
+        gbs.passes,
+        lss.passes
+    );
+
+    // Every GB round is a vxm (or mxv) frontier expansion that
+    // materializes a dense accumulator over the output dimension.
+    let vxm_rounds = gb.trace.count_ops(OpKind::Vxm) + gb.trace.count_ops(OpKind::Mxv);
+    assert!(vxm_rounds > 0, "GB bfs must go through the product kernels");
+    let materializing_products = gb
+        .trace
+        .ops()
+        .filter(|s| s.kind.is_product() && s.materialized_bytes > 0)
+        .count() as u64;
+    assert_eq!(
+        materializing_products, vxm_rounds,
+        "each GB product round must materialize an accumulator"
+    );
+    assert!(gbs.materialized_bytes > 0);
+
+    // The graph API makes no GrB calls and materializes nothing: its
+    // trace is worklist loops only.
+    assert_eq!(lss.ops, 0, "LS bfs must not issue matrix ops");
+    assert_eq!(lss.materialized_bytes, 0, "LS bfs materializes nothing");
+    assert!(lss.loops > 0, "LS bfs runs worklist loops");
+}
+
+#[test]
 fn disabled_monitoring_keeps_counters_silent() {
     let _guard = PERF_LOCK.lock().unwrap();
     perfmon::reset();
