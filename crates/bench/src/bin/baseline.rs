@@ -16,8 +16,11 @@
 use study_core::{timed_run, traced_run, verify, Json, Problem, System};
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch).
-const SCHEMA: &str = "graph-api-study/bench-baseline/v1";
+/// (`compare_bench.py` hard-fails on mismatch). v2 adds the SpMV
+/// kernel-selection counters (`accumulator_bytes`, per-kernel dispatch
+/// counts) to each cell's trace summary and the process-wide
+/// `kernel_mode` to the header.
+const SCHEMA: &str = "graph-api-study/bench-baseline/v2";
 
 /// Graphs used when `STUDY_GRAPHS` is unset: one scale-free, one road,
 /// one web graph — the three topology classes of Table I.
@@ -49,8 +52,20 @@ fn summary_json(s: &perfmon::trace::TraceSummary) -> Json {
     o.push("steals", s.steals);
     o.push("bucket_visits", s.bucket_visits);
     o.push("materialized_bytes", s.materialized_bytes);
+    o.push("accumulator_bytes", s.accumulator_bytes);
+    o.push("kernel_push_sparse", s.kernel_push_sparse);
+    o.push("kernel_push_dense", s.kernel_push_dense);
+    o.push("kernel_pull", s.kernel_pull);
     o.push("dropped", s.dropped);
     o
+}
+
+fn kernel_mode_name() -> &'static str {
+    match graphblas::ops::kernel_mode() {
+        graphblas::ops::KernelMode::Auto => "auto",
+        graphblas::ops::KernelMode::Push => "push",
+        graphblas::ops::KernelMode::Pull => "pull",
+    }
 }
 
 fn main() {
@@ -113,6 +128,7 @@ fn main() {
 
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
+    doc.push("kernel_mode", kernel_mode_name());
     doc.push("scale", scale.factor());
     doc.push("threads", galois_rt::threads());
     doc.push("repeats", u64::from(repeats));

@@ -139,7 +139,8 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 /// Serializes a full trace — every op and loop span in completion order —
-/// as the documented dump schema (`graph-api-study/trace/v1`).
+/// as the documented dump schema (`graph-api-study/trace/v2`, which adds
+/// the SpMV kernel-selection fields to each op event).
 pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
     use perfmon::trace::Event;
     let mut events = Vec::new();
@@ -157,6 +158,11 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
                 o.push("mask_complement", s.mask_complement);
                 o.push("replace", s.replace);
                 o.push("materialized_bytes", s.materialized_bytes);
+                o.push("kernel", s.kernel.name());
+                o.push("accumulator_bytes", s.accumulator_bytes);
+                o.push("frontier_degree", s.frontier_degree);
+                o.push("matrix_nnz", s.matrix_nnz);
+                o.push("mask_admitted", s.mask_admitted);
                 o.push("elapsed_ns", s.elapsed_ns);
             }
             Event::Loop(s) => {
@@ -174,7 +180,7 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
         events.push(o);
     }
     let mut doc = Json::obj();
-    doc.push("schema", "graph-api-study/trace/v1");
+    doc.push("schema", "graph-api-study/trace/v2");
     doc.push("dropped", trace.dropped);
     doc.push("events", events);
     doc
@@ -274,7 +280,9 @@ mod tests {
 
     #[test]
     fn trace_json_emits_both_event_kinds() {
-        use perfmon::trace::{Event, LoopKind, LoopSpan, MaskMode, OpKind, OpSpan, Trace};
+        use perfmon::trace::{
+            Event, KernelChoice, LoopKind, LoopSpan, MaskMode, OpKind, OpSpan, Trace,
+        };
         let trace = Trace {
             events: vec![
                 Event::Op(OpSpan {
@@ -287,6 +295,11 @@ mod tests {
                     mask_complement: true,
                     replace: true,
                     materialized_bytes: 64,
+                    kernel: KernelChoice::PushSparse,
+                    accumulator_bytes: 48,
+                    frontier_degree: 9,
+                    matrix_nnz: 20,
+                    mask_admitted: 4,
                     elapsed_ns: 100,
                 }),
                 Event::Loop(LoopSpan {
@@ -303,9 +316,12 @@ mod tests {
             dropped: 0,
         };
         let s = trace_json(&trace).pretty();
-        assert!(s.contains("\"schema\": \"graph-api-study/trace/v1\""));
+        assert!(s.contains("\"schema\": \"graph-api-study/trace/v2\""));
         assert!(s.contains("\"op\": \"vxm\""));
         assert!(s.contains("\"mask\": \"value\""));
+        assert!(s.contains("\"kernel\": \"push_sparse\""));
+        assert!(s.contains("\"accumulator_bytes\": 48"));
+        assert!(s.contains("\"frontier_degree\": 9"));
         assert!(s.contains("\"loop\": \"do_all\""));
     }
 

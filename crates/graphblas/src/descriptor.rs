@@ -24,6 +24,26 @@ pub enum MethodHint {
     Dot,
 }
 
+/// SpMV kernel selection for `vxm` / `mxv`.
+///
+/// The default defers to the process-wide policy
+/// ([`crate::ops::kernel_mode`], seeded from `STUDY_KERNEL`) and, under
+/// auto, to the per-call sparsity heuristic; the explicit hints pin a
+/// kernel for one call, overriding both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelHint {
+    /// Defer to the global mode / sparsity heuristic.
+    #[default]
+    Auto,
+    /// Force the SAXPY scatter with the sparse (per-thread lane)
+    /// accumulator.
+    PushSparse,
+    /// Force the SAXPY scatter with the dense atomic accumulator.
+    PushDense,
+    /// Force the masked SDOT pull over the (cached) transpose.
+    Pull,
+}
+
 /// Modifies masks and input orientation for one operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Descriptor {
@@ -41,6 +61,8 @@ pub struct Descriptor {
     pub transpose_b: bool,
     /// SpGEMM method selection.
     pub method: MethodHint,
+    /// SpMV kernel selection for `vxm` / `mxv`.
+    pub kernel: KernelHint,
 }
 
 impl Descriptor {
@@ -92,6 +114,13 @@ impl Descriptor {
         self.method = method;
         self
     }
+
+    /// Pins the SpMV kernel for this call.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelHint) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -103,11 +132,14 @@ mod tests {
         let d = Descriptor::new()
             .with_replace(true)
             .with_mask_structural(true)
-            .with_method(MethodHint::Hash);
+            .with_method(MethodHint::Hash)
+            .with_kernel(KernelHint::PushSparse);
         assert!(d.replace);
         assert!(d.mask_structural);
         assert!(!d.mask_complement);
         assert_eq!(d.method, MethodHint::Hash);
+        assert_eq!(d.kernel, KernelHint::PushSparse);
+        assert_eq!(Descriptor::new().kernel, KernelHint::Auto);
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub mod scalar;
 pub(crate) mod util;
 pub mod vector;
 
-pub use descriptor::{Descriptor, MethodHint};
+pub use descriptor::{Descriptor, KernelHint, MethodHint};
+pub use ops::KernelMode;
 pub use error::GrbError;
 pub use matrix::Matrix;
 pub use runtime::{GaloisRuntime, Runtime, StaticRuntime};

@@ -8,6 +8,41 @@ use crate::binops::BinOp;
 use crate::error::GrbError;
 use crate::scalar::{Scalar, ScalarNum};
 use graph::CsrGraph;
+use substrate::sync::OnceCell;
+
+/// Lazily-built cached transpose, excluded from the matrix's derived
+/// `Clone` / `PartialEq` / `Debug` semantics: clones start with an empty
+/// cache (they own their CSR arrays, so sharing would alias lifetimes),
+/// and equality compares only the CSR contents.
+struct TransposeCache<T>(OnceCell<Box<Matrix<T>>>);
+
+impl<T> TransposeCache<T> {
+    const fn empty() -> Self {
+        TransposeCache(OnceCell::new())
+    }
+}
+
+impl<T> Clone for TransposeCache<T> {
+    fn clone(&self) -> Self {
+        TransposeCache::empty()
+    }
+}
+
+impl<T> PartialEq for TransposeCache<T> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl<T> std::fmt::Debug for TransposeCache<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "TransposeCache(built)"
+        } else {
+            "TransposeCache(empty)"
+        })
+    }
+}
 
 /// A sparse `nrows × ncols` matrix over scalar `T` in CSR form.
 ///
@@ -28,6 +63,7 @@ pub struct Matrix<T> {
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     vals: Vec<T>,
+    tcache: TransposeCache<T>,
 }
 
 impl<T: Scalar> Matrix<T> {
@@ -39,6 +75,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr: vec![0; nrows + 1],
             col_idx: Vec::new(),
             vals: Vec::new(),
+            tcache: TransposeCache::empty(),
         }
     }
 
@@ -93,6 +130,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr,
             col_idx,
             vals,
+            tcache: TransposeCache::empty(),
         })
     }
 
@@ -115,6 +153,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr: g.offsets().to_vec(),
             col_idx: g.dests().to_vec(),
             vals,
+            tcache: TransposeCache::empty(),
         }
     }
 
@@ -162,8 +201,28 @@ impl<T: Scalar> Matrix<T> {
         cols.binary_search(&c).ok().map(|p| vals[p])
     }
 
-    /// Returns the transpose (CSR of `A^T`, i.e. the CSC view of `A`).
-    pub fn transpose(&self) -> Matrix<T> {
+    /// The transpose (CSR of `A^T`, i.e. the CSC view of `A`), built
+    /// lazily on the first call and cached on the matrix: repeated calls
+    /// return the same allocation, so pull kernels can take the CSC view
+    /// per invocation for free.
+    ///
+    /// Nothing mutates a built matrix today, so the cache can never go
+    /// stale; any future `&mut self` structural mutator must call
+    /// [`invalidate_transpose`](Matrix::invalidate_transpose) first.
+    pub fn transpose(&self) -> &Matrix<T> {
+        self.tcache.0.get_or_init(|| Box::new(self.build_transpose()))
+    }
+
+    /// Drops the cached transpose (requires exclusive access, so no
+    /// reader can hold the stale view). Mutating constructors start
+    /// empty; this exists for future in-place structural mutators.
+    pub fn invalidate_transpose(&mut self) {
+        self.tcache.0.take();
+    }
+
+    /// Rebuilds the CSC view from scratch (the cached
+    /// [`transpose`](Matrix::transpose) is the public entry point).
+    fn build_transpose(&self) -> Matrix<T> {
         let mut col_counts = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
             col_counts[c as usize + 1] += 1;
@@ -189,6 +248,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr: col_counts,
             col_idx,
             vals,
+            tcache: TransposeCache::empty(),
         }
     }
 
@@ -237,6 +297,7 @@ impl<T: Scalar> Matrix<T> {
             row_ptr,
             col_idx,
             vals,
+            tcache: TransposeCache::empty(),
         }
     }
 
@@ -310,7 +371,49 @@ mod tests {
         let t = m.transpose();
         assert_eq!(t.get(1, 0), Some(1));
         assert_eq!(t.get(0, 2), Some(4));
-        assert_eq!(t.transpose(), m);
+        assert_eq!(t.transpose(), &m);
+    }
+
+    #[test]
+    fn transpose_is_cached() {
+        let m = small();
+        let first: *const Matrix<u32> = m.transpose();
+        let second: *const Matrix<u32> = m.transpose();
+        assert!(
+            std::ptr::eq(first, second),
+            "two transpose() calls must return the same allocation"
+        );
+    }
+
+    #[test]
+    fn transpose_cache_is_not_shared_with_clones() {
+        let m = small();
+        let t = m.transpose();
+        let c = m.clone();
+        assert_eq!(c, m, "equality ignores the cache");
+        let tc = c.transpose();
+        assert!(
+            !std::ptr::eq(t as *const Matrix<u32>, tc as *const Matrix<u32>),
+            "a clone builds its own transpose"
+        );
+        assert_eq!(t, tc, "with identical contents");
+    }
+
+    #[test]
+    fn invalidate_transpose_rebuilds() {
+        let mut m = small();
+        let first: *const Matrix<u32> = m.transpose();
+        assert!(
+            std::ptr::eq(first, m.transpose()),
+            "repeated calls reuse the cache"
+        );
+        // Invalidation on a fresh or already-built cache is idempotent;
+        // the next call rebuilds an equal transpose. (The rebuilt Box may
+        // legitimately reuse the freed allocation's address, so equality
+        // of contents — not pointer inequality — is what is guaranteed.)
+        m.invalidate_transpose();
+        m.invalidate_transpose();
+        assert_eq!(m.transpose(), &small().build_transpose());
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! Sparsity-adaptive kernel selection for `vxm` / `mxv`.
+//!
+//! The paper's SpMV kernels are single-strategy: `vxm` always scatters
+//! push-style into a dense accumulator, `mxv` always pulls row dot
+//! products. Real direction-optimizing systems (GraphBLAST's Beamer-style
+//! bfs, GraphMat's SPA compaction) pick a strategy *per invocation* from
+//! operand sparsity. This module adds that layer:
+//!
+//! * [`KernelChoice::PushDense`] — the paper-faithful SAXPY scatter into a
+//!   dense [`AtomicAccumulator`] (cost `O(out_dim)` bytes every call);
+//! * [`KernelChoice::PushSparse`] — the same scatter into per-thread
+//!   sparse pair lanes, compacted by a sort + fold (no dense
+//!   intermediate; wins when the frontier touches few outputs);
+//! * [`KernelChoice::Pull`] — masked SDOT over the rows of the cached
+//!   transpose, visiting only mask-admitted outputs and exiting each dot
+//!   product early once the additive monoid's absorbing element is
+//!   reached (wins when few outputs remain unresolved).
+//!
+//! Selection is resolved in precedence order: a per-call
+//! [`Descriptor::kernel`](crate::descriptor::Descriptor) hint, then the
+//! process-wide [`kernel_mode`] (seeded from `STUDY_KERNEL`), then — under
+//! [`KernelMode::Auto`] — a Beamer-style cost model over the frontier
+//! degree sum, matrix nnz, and mask-admitted output count. Byte guards
+//! ensure the chosen kernel never materializes more accumulator bytes
+//! than the paper's dense scatter would, so `auto` is monotonically no
+//! worse on the paper's materialization metric.
+
+use crate::binops::SemiringOps;
+use crate::descriptor::{Descriptor, KernelHint};
+use crate::matrix::Matrix;
+use crate::runtime::Runtime;
+use crate::scalar::Scalar;
+use crate::util::AtomicAccumulator;
+use crate::vector::Vector;
+use galois_rt::substrate::PerThread;
+use perfmon::trace::KernelChoice;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide SpMV strategy policy (the `STUDY_KERNEL` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Pick per invocation from the sparsity heuristic.
+    #[default]
+    Auto,
+    /// The paper's fixed strategies: `vxm` scatters into the dense
+    /// accumulator, `mxv` pulls row dot products — bit-for-bit the
+    /// pre-selection kernels.
+    Push,
+    /// Pull for every call, including `vxm` (SDOT over the cached
+    /// transpose).
+    Pull,
+}
+
+/// 0 = not yet resolved from the environment.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+const MODE_AUTO: u8 = 1;
+const MODE_PUSH: u8 = 2;
+const MODE_PULL: u8 = 3;
+
+fn encode(mode: KernelMode) -> u8 {
+    match mode {
+        KernelMode::Auto => MODE_AUTO,
+        KernelMode::Push => MODE_PUSH,
+        KernelMode::Pull => MODE_PULL,
+    }
+}
+
+/// Returns the process-wide kernel policy, resolving it from the
+/// `STUDY_KERNEL` environment variable (`push` | `pull` | `auto`) on
+/// first use. Unset defaults to [`KernelMode::Auto`].
+///
+/// # Panics
+///
+/// Panics when `STUDY_KERNEL` is set to an unrecognized value.
+pub fn kernel_mode() -> KernelMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_AUTO => KernelMode::Auto,
+        MODE_PUSH => KernelMode::Push,
+        MODE_PULL => KernelMode::Pull,
+        _ => {
+            let mode = match std::env::var("STUDY_KERNEL") {
+                Ok(v) => match v.as_str() {
+                    "auto" => KernelMode::Auto,
+                    "push" => KernelMode::Push,
+                    "pull" => KernelMode::Pull,
+                    other => panic!("STUDY_KERNEL must be push, pull or auto; got {other:?}"),
+                },
+                Err(_) => KernelMode::Auto,
+            };
+            MODE.store(encode(mode), Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Overrides the process-wide kernel policy (takes precedence over
+/// `STUDY_KERNEL`; per-call [`Descriptor`] hints still win).
+pub fn set_kernel_mode(mode: KernelMode) {
+    MODE.store(encode(mode), Ordering::Relaxed);
+}
+
+/// The outcome of kernel selection for one call: the kernel to run plus
+/// the heuristic inputs, recorded on the op's trace span. Forced choices
+/// (descriptor hint or non-auto mode) skip the operand scans and leave
+/// the inputs zero.
+pub(crate) struct Selection {
+    /// Kernel to execute.
+    pub choice: KernelChoice,
+    /// Sum of frontier-row degrees (upper bound on scatter work).
+    pub frontier_degree: u64,
+    /// Matrix nnz.
+    pub matrix_nnz: u64,
+    /// Outputs the mask admits.
+    pub mask_admitted: u64,
+}
+
+impl Selection {
+    pub(crate) fn forced(choice: KernelChoice) -> Self {
+        Selection {
+            choice,
+            frontier_degree: 0,
+            matrix_nnz: 0,
+            mask_admitted: 0,
+        }
+    }
+}
+
+/// Resolves a descriptor hint or a non-auto mode; `None` means run the
+/// heuristic. `vxm` and `mxv` differ only in what [`KernelMode::Push`]
+/// (the paper's fixed strategy) means.
+fn forced_choice(desc: &Descriptor, is_vxm: bool) -> Option<KernelChoice> {
+    match desc.kernel {
+        KernelHint::PushSparse => Some(KernelChoice::PushSparse),
+        KernelHint::PushDense => Some(KernelChoice::PushDense),
+        KernelHint::Pull => Some(KernelChoice::Pull),
+        KernelHint::Auto => match kernel_mode() {
+            KernelMode::Push => Some(if is_vxm {
+                KernelChoice::PushDense
+            } else {
+                KernelChoice::Pull
+            }),
+            KernelMode::Pull => Some(KernelChoice::Pull),
+            KernelMode::Auto => None,
+        },
+    }
+}
+
+/// Number of output slots the mask lets through. Valued masks admit
+/// non-zero entries (a dense vector full of explicit zeros admits none),
+/// structural masks admit present entries; complement inverts against the
+/// output dimension.
+pub(crate) fn admitted_outputs<M: Scalar>(
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+    out_dim: usize,
+) -> u64 {
+    match mask {
+        None => out_dim as u64,
+        Some(m) => {
+            let hits = if desc.mask_structural {
+                m.nvals()
+            } else {
+                m.nonzeros()
+            };
+            if desc.mask_complement {
+                (out_dim - hits.min(out_dim)) as u64
+            } else {
+                hits.min(out_dim) as u64
+            }
+        }
+    }
+}
+
+/// The Beamer-style cost model, pure in its inputs so tests can probe the
+/// decision boundary directly.
+///
+/// Work estimates (element visits):
+/// * push: every frontier edge is scattered (`frontier_degree`) and at
+///   most `min(frontier_degree, admitted)` outputs are written;
+/// * pull: every output is mask-checked (`out_dim`) and each admitted
+///   output folds an average-degree (`matrix_nnz / out_dim`) dot product.
+///
+/// Whichever is cheaper wins. `pull_is_baseline` marks the `mxv` case,
+/// whose paper-faithful kernel *is* pull: ties go to pull and pull needs
+/// no byte guard (it cannot materialize more than the op's own
+/// baseline). For `vxm` (baseline: dense push scatter) ties go to push
+/// and pull is only taken when its worst-case emission
+/// (`admitted * pair_bytes`) undercuts the dense accumulator's
+/// `out_dim * val_bytes`. [`KernelChoice::PushSparse`] is likewise only
+/// chosen under its byte bound, so `auto` never materializes more than
+/// the op's fixed paper strategy.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pick_kernel(
+    frontier_degree: u64,
+    matrix_nnz: u64,
+    out_dim: u64,
+    admitted: u64,
+    pair_bytes: u64,
+    val_bytes: u64,
+    pull_is_baseline: bool,
+) -> KernelChoice {
+    let dense_bytes = out_dim.saturating_mul(val_bytes);
+    let avg_degree = matrix_nnz.checked_div(out_dim).unwrap_or(0);
+    let pull_cost = out_dim.saturating_add(admitted.saturating_mul(avg_degree));
+    let push_cost = frontier_degree.saturating_add(frontier_degree.min(admitted));
+    let pull_wins = if pull_is_baseline {
+        pull_cost <= push_cost
+    } else {
+        pull_cost < push_cost
+    };
+    let pull_fits = pull_is_baseline || admitted.saturating_mul(pair_bytes) < dense_bytes;
+    if pull_wins && pull_fits {
+        return KernelChoice::Pull;
+    }
+    if frontier_degree.saturating_mul(pair_bytes) < dense_bytes {
+        KernelChoice::PushSparse
+    } else {
+        KernelChoice::PushDense
+    }
+}
+
+/// Selects the kernel for `w<mask> = uᵀA` and reports the heuristic
+/// inputs it used.
+pub(crate) fn select_vxm<T: Scalar, M: Scalar>(
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+) -> Selection {
+    if let Some(choice) = forced_choice(desc, true) {
+        return Selection::forced(choice);
+    }
+    let out_dim = a.ncols();
+    let frontier_degree: u64 = u.iter().map(|(i, _)| a.row_nvals(i) as u64).sum();
+    let matrix_nnz = a.nvals() as u64;
+    let mask_admitted = admitted_outputs(mask, desc, out_dim);
+    let choice = pick_kernel(
+        frontier_degree,
+        matrix_nnz,
+        out_dim as u64,
+        mask_admitted,
+        std::mem::size_of::<(u32, T)>() as u64,
+        std::mem::size_of::<T>() as u64,
+        false,
+    );
+    Selection {
+        choice,
+        frontier_degree,
+        matrix_nnz,
+        mask_admitted,
+    }
+}
+
+/// Selects the kernel for `w<mask> = A·u`. The frontier degree sum is
+/// estimated as `u.nvals() * avg_degree` (exact per-column degrees would
+/// require the transpose the push kernels are trying to avoid building).
+pub(crate) fn select_mxv<T: Scalar, M: Scalar>(
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+) -> Selection {
+    if let Some(choice) = forced_choice(desc, false) {
+        return Selection::forced(choice);
+    }
+    let out_dim = a.nrows();
+    let matrix_nnz = a.nvals() as u64;
+    let frontier_degree = if a.ncols() == 0 {
+        0
+    } else {
+        (u.nvals() as u64).saturating_mul(matrix_nnz) / a.ncols() as u64
+    };
+    let mask_admitted = admitted_outputs(mask, desc, out_dim);
+    let choice = pick_kernel(
+        frontier_degree,
+        matrix_nnz,
+        out_dim as u64,
+        mask_admitted,
+        std::mem::size_of::<(u32, T)>() as u64,
+        std::mem::size_of::<T>() as u64,
+        true,
+    );
+    Selection {
+        choice,
+        frontier_degree,
+        matrix_nnz,
+        mask_admitted,
+    }
+}
+
+/// The kernel `vxm` would run for these operands (hint > mode >
+/// heuristic). Exposed so tests can assert that `auto` delegates to the
+/// kernel the cost model names.
+pub fn vxm_kernel_choice<T: Scalar, M: Scalar>(
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+) -> KernelChoice {
+    select_vxm(u, a, mask, desc).choice
+}
+
+/// The kernel `mxv` would run for these operands (hint > mode >
+/// heuristic).
+pub fn mxv_kernel_choice<T: Scalar, M: Scalar>(
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+) -> KernelChoice {
+    select_mxv(u, a, mask, desc).choice
+}
+
+/// SAXPY scatter of `entries` through the rows of `a` into per-thread
+/// sparse pair lanes (the GraphMat SPA shape): no dense intermediate.
+///
+/// Returns the compacted `(index, value)` entries in ascending index
+/// order plus the accumulator footprint in bytes (total pairs emitted,
+/// which is the mask-passing contribution count — independent of thread
+/// schedule). The compaction sorts by `(index, bit pattern)` before
+/// folding with ⊕ so the fold order, and hence every float result, is
+/// deterministic across thread counts.
+///
+/// `mul` maps `(frontier value, matrix value)` to a contribution, letting
+/// `mxv` flip the semiring's ⊗ argument order.
+pub(crate) fn scatter_sparse<T, M, S, R>(
+    entries: &[(u32, T)],
+    a: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+    semiring: S,
+    mul: impl Fn(T, T) -> T + Sync,
+    rt: R,
+) -> (Vec<(u32, T)>, u64)
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let lanes: PerThread<Vec<(u32, T)>> = PerThread::new(Vec::new);
+    rt.parallel_for(entries.len(), |p| {
+        let (i, x) = entries[p];
+        perfmon::touch_ref(&entries[p]);
+        let (cols, vals) = a.row(i);
+        for (&j, &av) in cols.iter().zip(vals.iter()) {
+            perfmon::instr(2);
+            perfmon::touch_ref(&av);
+            if let Some(m) = mask {
+                let pass = m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                perfmon::instr(1);
+                if !pass {
+                    continue;
+                }
+            }
+            lanes.with(|lane| lane.push((j, mul(x, av))));
+        }
+    });
+    let mut pairs: Vec<(u32, T)> = lanes.into_inner().into_iter().flatten().collect();
+    let acc_bytes = (pairs.len() * std::mem::size_of::<(u32, T)>()) as u64;
+    pairs.sort_unstable_by_key(|&(j, v)| (j, v.to_bits64()));
+    let mut out: Vec<(u32, T)> = Vec::new();
+    for (j, v) in pairs {
+        perfmon::instr(1);
+        match out.last_mut() {
+            Some(last) if last.0 == j => last.1 = semiring.add(last.1, v),
+            _ => out.push((j, v)),
+        }
+    }
+    (out, acc_bytes)
+}
+
+/// SAXPY scatter of `entries` through the rows of `a` into the dense
+/// atomic accumulator — the paper's fixed push kernel, parameterized
+/// over ⊗ argument order so `mxv` can run it against the cached
+/// transpose. Instrumentation matches the original `vxm` loop exactly.
+///
+/// Returns the accumulator (the caller commits it) and its footprint,
+/// always `out_dim * size_of::<T>()` bytes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_dense<T, M, R>(
+    entries: &[(u32, T)],
+    a: &Matrix<T>,
+    out_dim: usize,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+    add: impl Fn(T, T) -> T + Sync,
+    mul: impl Fn(T, T) -> T + Sync,
+    rt: R,
+) -> (AtomicAccumulator<T>, u64)
+where
+    T: Scalar,
+    M: Scalar,
+    R: Runtime,
+{
+    let acc: AtomicAccumulator<T> = AtomicAccumulator::new(out_dim);
+    let bytes = (out_dim * std::mem::size_of::<T>()) as u64;
+    rt.parallel_for(entries.len(), |p| {
+        let (i, x) = entries[p];
+        perfmon::touch_ref(&entries[p]);
+        let (cols, vals) = a.row(i);
+        for (&j, &av) in cols.iter().zip(vals.iter()) {
+            perfmon::instr(2);
+            perfmon::touch_ref(&av);
+            if let Some(m) = mask {
+                let pass = m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                perfmon::instr(1);
+                if !pass {
+                    continue;
+                }
+            }
+            acc.accumulate(j as usize, mul(x, av), &add);
+        }
+    });
+    (acc, bytes)
+}
+
+/// Masked SDOT over the rows of `at` (the transpose of the scattered
+/// matrix): output `j` folds `⊕_k mul(u(k), at(j,k))`, skipping
+/// mask-rejected outputs entirely and exiting the fold early once the
+/// accumulator reaches the monoid's absorbing element (the "any" exit
+/// that makes pull bfs cheap).
+///
+/// Returns entries in ascending index order plus the emission footprint
+/// in bytes. One task owns each output, so both are deterministic.
+pub(crate) fn pull_gather<T, M, S, R>(
+    u: &Vector<T>,
+    at: &Matrix<T>,
+    mask: Option<&Vector<M>>,
+    desc: &Descriptor,
+    semiring: S,
+    mul: impl Fn(T, T) -> T + Sync,
+    rt: R,
+) -> (Vec<(u32, T)>, u64)
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let n = at.nrows();
+    let udense = u.dense_parts();
+    let absorbing = semiring.add_absorbing();
+    let lanes: PerThread<Vec<(u32, T)>> = PerThread::new(Vec::new);
+    rt.parallel_for(n, |j| {
+        if let Some(m) = mask {
+            perfmon::instr(1);
+            let pass = m.mask_at(j as u32, desc.mask_structural) != desc.mask_complement;
+            if !pass {
+                return;
+            }
+        }
+        let (cols, avals) = at.row(j as u32);
+        let mut acc = semiring.add_identity();
+        let mut any = false;
+        for (&k, &av) in cols.iter().zip(avals.iter()) {
+            perfmon::instr(2);
+            perfmon::touch_ref(&av);
+            let x = match udense {
+                Some((uvals, upresent)) => {
+                    perfmon::touch_ref(&uvals[k as usize]);
+                    upresent[k as usize].then(|| uvals[k as usize])
+                }
+                None => u.get(k),
+            };
+            if let Some(x) = x {
+                acc = semiring.add(acc, mul(x, av));
+                any = true;
+                if absorbing == Some(acc) {
+                    break;
+                }
+            }
+        }
+        if any {
+            lanes.with(|lane| lane.push((j as u32, acc)));
+        }
+    });
+    let mut out: Vec<(u32, T)> = lanes.into_inner().into_iter().flatten().collect();
+    let acc_bytes = (out.len() * std::mem::size_of::<(u32, T)>()) as u64;
+    out.sort_unstable_by_key(|&(j, _)| j);
+    (out, acc_bytes)
+}
+
+/// Commits sorted `(index, value)` entries into `w` under the same
+/// merge-or-replace semantics as the dense accumulator's store: replace
+/// installs a fresh store sized by [`crate::vector::dense_preferred`],
+/// merge folds entry-by-entry into the existing store.
+pub(crate) fn store_entries<T: Scalar>(w: &mut Vector<T>, entries: Vec<(u32, T)>, replace: bool) {
+    if replace {
+        let n = w.size();
+        if crate::vector::dense_preferred(entries.len(), n) {
+            let mut vals = vec![T::ZERO; n];
+            let mut present = vec![false; n];
+            for &(i, v) in &entries {
+                vals[i as usize] = v;
+                present[i as usize] = true;
+            }
+            w.set_dense(vals, present);
+        } else {
+            let (idx, vals) = entries.into_iter().unzip();
+            w.set_sparse(idx, vals);
+        }
+    } else {
+        for (i, v) in entries {
+            perfmon::instr(1);
+            w.set(i, v).expect("kernel indices in range");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip_and_default() {
+        let before = kernel_mode();
+        set_kernel_mode(KernelMode::Push);
+        assert_eq!(kernel_mode(), KernelMode::Push);
+        set_kernel_mode(KernelMode::Pull);
+        assert_eq!(kernel_mode(), KernelMode::Pull);
+        set_kernel_mode(before);
+        assert_eq!(kernel_mode(), before);
+    }
+
+    #[test]
+    fn descriptor_hint_beats_mode() {
+        let desc = Descriptor::new().with_kernel(KernelHint::PushSparse);
+        assert_eq!(forced_choice(&desc, true), Some(KernelChoice::PushSparse));
+        assert_eq!(forced_choice(&desc, false), Some(KernelChoice::PushSparse));
+    }
+
+    #[test]
+    fn tiny_frontier_scatters_sparse() {
+        // 1-entry frontier of degree 8 against a 10_000-wide output:
+        // sparse pairs beat a 10_000-slot dense accumulator.
+        let c = pick_kernel(8, 50_000, 10_000, 10_000, 16, 8, false);
+        assert_eq!(c, KernelChoice::PushSparse);
+    }
+
+    #[test]
+    fn heavy_frontier_scatters_dense() {
+        // Frontier touching most edges with most outputs admitted: the
+        // pair lanes would outweigh the dense accumulator, and pull's
+        // full-matrix fold is no cheaper, so the paper's kernel stands.
+        let c = pick_kernel(40_000, 50_000, 10_000, 10_000, 16, 8, false);
+        assert_eq!(c, KernelChoice::PushDense);
+    }
+
+    #[test]
+    fn few_admitted_outputs_pull() {
+        // Late-bfs shape: a heavy frontier but only 100 unvisited
+        // vertices admitted by the complemented mask — pull reads 100
+        // short rows instead of scattering 40_000 edges.
+        let c = pick_kernel(40_000, 50_000, 10_000, 100, 16, 8, false);
+        assert_eq!(c, KernelChoice::Pull);
+    }
+
+    #[test]
+    fn pull_needs_the_byte_guard() {
+        // Pull wins on work but its emission bound (admitted * pair
+        // bytes) would exceed the dense accumulator: fall back.
+        let c = pick_kernel(40_000, 50_000, 10_000, 9_000, 16, 8, false);
+        assert_ne!(c, KernelChoice::Pull);
+    }
+
+    #[test]
+    fn dense_operand_tie_prefers_pull_for_mxv() {
+        // Dense u, no mask: push_cost == pull_cost == nnz + n. mxv's
+        // tie bias keeps the paper-faithful pull; vxm's keeps push.
+        let n = 1_000u64;
+        let nnz = 8_000u64;
+        assert_eq!(
+            pick_kernel(nnz, nnz, n, n, 16, 8, true),
+            KernelChoice::Pull
+        );
+        assert_eq!(
+            pick_kernel(nnz, nnz, n, n, 16, 8, false),
+            KernelChoice::PushDense
+        );
+    }
+
+    #[test]
+    fn zero_dimensions_do_not_divide() {
+        // Empty operands must not divide by zero; each op degrades to
+        // its own paper baseline.
+        assert_eq!(pick_kernel(0, 0, 0, 0, 16, 8, false), KernelChoice::PushDense);
+        assert_eq!(pick_kernel(0, 0, 0, 0, 16, 8, true), KernelChoice::Pull);
+    }
+
+    #[test]
+    fn admitted_outputs_counts_values_and_structure() {
+        let desc = Descriptor::new();
+        // Dense mask with explicit zeros: valued admits only non-zeros.
+        let mut m: Vector<u32> = Vector::new_dense(8, 0);
+        m.set(2, 5).unwrap();
+        m.set(6, 1).unwrap();
+        assert_eq!(admitted_outputs(Some(&m), &desc, 8), 2);
+        let structural = Descriptor::new().with_mask_structural(true);
+        assert_eq!(admitted_outputs(Some(&m), &structural, 8), 8);
+        let complement = Descriptor::new().with_mask_complement(true);
+        assert_eq!(admitted_outputs(Some(&m), &complement, 8), 6);
+        assert_eq!(admitted_outputs(None::<&Vector<u32>>, &desc, 8), 8);
+    }
+}

@@ -11,7 +11,7 @@
 //! materialization / round attribution can be measured directly.
 
 use crate::descriptor::Descriptor;
-use perfmon::trace::{self, Event, MaskMode, OpKind, OpSpan};
+use perfmon::trace::{self, Event, KernelChoice, MaskMode, OpKind, OpSpan};
 use std::time::Instant;
 
 /// Live span guard for one GraphBLAS call; `None` while tracing is off
@@ -57,8 +57,28 @@ pub(crate) fn op_start_plain(kind: OpKind, backend: &'static str) -> Option<OpTr
 }
 
 impl OpTrace {
-    /// Closes the span, recording the call into the trace.
+    /// Closes the span, recording the call into the trace. Ops without a
+    /// kernel-selection layer record [`KernelChoice::Unspecified`].
     pub(crate) fn finish(self, input_nnz: usize, output_nnz: usize, materialized_bytes: usize) {
+        self.finish_kernel(
+            input_nnz,
+            output_nnz,
+            materialized_bytes,
+            &kernels::Selection::forced(KernelChoice::Unspecified),
+            0,
+        );
+    }
+
+    /// Closes the span for a `vxm`/`mxv` call, recording which kernel ran,
+    /// its accumulator footprint, and the selection heuristic's inputs.
+    pub(crate) fn finish_kernel(
+        self,
+        input_nnz: usize,
+        output_nnz: usize,
+        materialized_bytes: usize,
+        selection: &kernels::Selection,
+        accumulator_bytes: u64,
+    ) {
         trace::record(Event::Op(OpSpan {
             seq: 0,
             backend: self.backend,
@@ -69,6 +89,11 @@ impl OpTrace {
             mask_complement: self.mask_complement,
             replace: self.replace,
             materialized_bytes: materialized_bytes as u64,
+            kernel: selection.choice,
+            accumulator_bytes,
+            frontier_degree: selection.frontier_degree,
+            matrix_nnz: selection.matrix_nnz,
+            mask_admitted: selection.mask_admitted,
             elapsed_ns: self.started.elapsed().as_nanos() as u64,
         }));
     }
@@ -77,6 +102,7 @@ impl OpTrace {
 mod assign;
 mod ewise;
 mod extract;
+mod kernels;
 mod matrix_ewise;
 mod mxm;
 mod reduce;
@@ -86,6 +112,9 @@ mod spmv;
 pub use assign::{apply, apply_inplace, assign_scalar};
 pub use ewise::{ewise_add, ewise_mult};
 pub use extract::extract;
+pub use kernels::{
+    kernel_mode, mxv_kernel_choice, set_kernel_mode, vxm_kernel_choice, KernelMode,
+};
 pub use matrix_ewise::{apply_matrix, ewise_add_matrix, ewise_mult_matrix};
 pub use mxm::mxm;
 pub use reduce::{reduce_matrix, reduce_rows, reduce_vector};

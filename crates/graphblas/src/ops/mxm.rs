@@ -107,23 +107,16 @@ where
                     "mxm(dot) with a complemented mask (unbounded output)",
                 ));
             }
-            let bt_storage;
-            let bt = if desc.transpose_b {
-                b
-            } else {
-                bt_storage = b.transpose();
-                &bt_storage
-            };
+            let bt = if desc.transpose_b { b } else { b.transpose() };
             let c = dot_masked(mask, semiring, a, bt, desc, rt);
             finish(span, &c, 0);
             Ok(c)
         }
         MethodHint::Gustavson | MethodHint::Hash | MethodHint::Auto => {
-            let bt_storage;
             let b_eff = if desc.transpose_b {
-                // SAXPY needs row access to the effective B: materialize Bᵀ.
-                bt_storage = b.transpose();
-                &bt_storage
+                // SAXPY needs row access to the effective B: take the
+                // (cached) Bᵀ view.
+                b.transpose()
             } else {
                 b
             };

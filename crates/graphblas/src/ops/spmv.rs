@@ -5,7 +5,14 @@
 //! (SAXPY), while `w = A·u` iterated over rows is the pull-style SDOT
 //! form. The push kernel materializes a dense accumulator per call — the
 //! *materialization* cost the paper measures.
+//!
+//! Both entry points now route through [`super::kernels`]: under
+//! [`super::kernels::KernelMode::Push`] (or a forced descriptor hint)
+//! they run exactly the paper's single-strategy kernels above, while
+//! `auto` may substitute a sparse-accumulator scatter or a masked pull
+//! over the cached transpose when operand sparsity favors it.
 
+use super::kernels;
 use crate::binops::SemiringOps;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_mismatch, GrbError};
@@ -14,6 +21,7 @@ use crate::runtime::Runtime;
 use crate::scalar::Scalar;
 use crate::util::{AtomicAccumulator, ParSlice};
 use crate::vector::Vector;
+use perfmon::trace::KernelChoice;
 
 /// `w<mask> = u ⊗.⊕ A` (push-style row scaling, `GrB_vxm`).
 ///
@@ -72,32 +80,57 @@ where
     // Materialize the input entries so the parallel loop can index them.
     let entries: Vec<(u32, T)> = u.entries();
     let input_nnz = entries.len();
-    // Dense accumulator over the output dimension: the intermediate the
-    // matrix API cannot avoid.
-    let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
-    let materialized = a.ncols() * std::mem::size_of::<T>();
-    let add = |x, y| semiring.add(x, y);
-    rt.parallel_for(entries.len(), |p| {
-        let (i, x) = entries[p];
-        perfmon::touch_ref(&entries[p]);
-        let (cols, vals) = a.row(i);
-        for (&j, &av) in cols.iter().zip(vals.iter()) {
-            perfmon::instr(2);
-            perfmon::touch_ref(&av);
-            if let Some(m) = mask {
-                let pass = m.mask_at(j, desc.mask_structural) != desc.mask_complement;
-                perfmon::instr(1);
-                if !pass {
-                    continue;
-                }
-            }
-            acc.accumulate(j as usize, semiring.mul(x, av), add);
+    let selection = kernels::select_vxm(u, a, mask, desc);
+    let mul = |x, av| semiring.mul(x, av);
+    let accumulator_bytes = match selection.choice {
+        KernelChoice::PushSparse => {
+            let (out, bytes) =
+                kernels::scatter_sparse(&entries, a, mask, desc, semiring, mul, rt);
+            kernels::store_entries(w, out, desc.replace);
+            bytes
         }
-    });
-
-    store_accumulator(w, acc, desc.replace);
+        KernelChoice::Pull => {
+            let (out, bytes) =
+                kernels::pull_gather(u, a.transpose(), mask, desc, semiring, mul, rt);
+            kernels::store_entries(w, out, desc.replace);
+            bytes
+        }
+        _ => {
+            // Dense accumulator over the output dimension: the
+            // intermediate the paper's fixed push strategy cannot avoid.
+            let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
+            let bytes = (a.ncols() * std::mem::size_of::<T>()) as u64;
+            let add = |x, y| semiring.add(x, y);
+            rt.parallel_for(entries.len(), |p| {
+                let (i, x) = entries[p];
+                perfmon::touch_ref(&entries[p]);
+                let (cols, vals) = a.row(i);
+                for (&j, &av) in cols.iter().zip(vals.iter()) {
+                    perfmon::instr(2);
+                    perfmon::touch_ref(&av);
+                    if let Some(m) = mask {
+                        let pass =
+                            m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                        perfmon::instr(1);
+                        if !pass {
+                            continue;
+                        }
+                    }
+                    acc.accumulate(j as usize, semiring.mul(x, av), add);
+                }
+            });
+            store_accumulator(w, acc, desc.replace);
+            bytes
+        }
+    };
     if let Some(span) = span {
-        span.finish(input_nnz, w.nvals(), materialized);
+        span.finish_kernel(
+            input_nnz,
+            w.nvals(),
+            accumulator_bytes as usize,
+            &selection,
+            accumulator_bytes,
+        );
     }
     Ok(())
 }
@@ -157,71 +190,103 @@ where
     let input_nnz = u.nvals();
 
     let n = a.nrows();
-    let udense = u.dense_parts();
-    // Dense value + presence buffers over the output dimension: the pull
-    // kernel's materialization.
-    let materialized = n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>());
-    let mut vals = vec![T::ZERO; n];
-    let mut present = vec![false; n];
-    {
-        let pv = ParSlice::new(&mut vals);
-        let pp = ParSlice::new(&mut present);
-        rt.parallel_for(n, |i| {
-            if let Some(m) = mask {
-                perfmon::instr(1);
-                let pass =
-                    m.mask_at(i as u32, desc.mask_structural) != desc.mask_complement;
-                if !pass {
-                    return;
-                }
-            }
-            let (cols, avals) = a.row(i as u32);
-            let mut acc = semiring.add_identity();
-            let mut any = false;
-            for (&k, &av) in cols.iter().zip(avals.iter()) {
-                perfmon::instr(2);
-                perfmon::touch_ref(&av);
-                let x = match udense {
-                    Some((uvals, upresent)) => {
-                        perfmon::touch_ref(&uvals[k as usize]);
-                        upresent[k as usize].then(|| uvals[k as usize])
-                    }
-                    None => u.get(k),
-                };
-                if let Some(x) = x {
-                    acc = semiring.add(acc, semiring.mul(av, x));
-                    any = true;
-                }
-            }
-            if any {
-                // SAFETY: one writer per row.
-                unsafe {
-                    perfmon::touch(pv.addr_of(i));
-                    pv.write(i, acc);
-                    pp.write(i, true);
-                }
-            }
-        });
-    }
-
-    if desc.replace || mask.is_none() {
-        w.set_dense(vals, present);
-    } else {
-        // Merge: keep previous entries where the mask did not pass.
-        let old = std::mem::replace(w, Vector::new(n));
-        let mut merged_vals = vals;
-        let mut merged_present = present;
-        for (i, x) in old.iter() {
-            perfmon::instr(1);
-            if !merged_present[i as usize] {
-                merged_vals[i as usize] = x;
-                merged_present[i as usize] = true;
-            }
+    let selection = kernels::select_mxv(u, a, mask, desc);
+    let accumulator_bytes = match selection.choice {
+        KernelChoice::PushSparse => {
+            // Scatter the entries of `u` through the columns of `A`
+            // (rows of the cached transpose) into sparse lanes.
+            let entries = u.entries();
+            let mul = |x, av| semiring.mul(av, x);
+            let (out, bytes) =
+                kernels::scatter_sparse(&entries, a.transpose(), mask, desc, semiring, mul, rt);
+            kernels::store_entries(w, out, desc.replace || mask.is_none());
+            bytes
         }
-        w.set_dense(merged_vals, merged_present);
-    }
+        KernelChoice::PushDense => {
+            let entries = u.entries();
+            let mul = |x, av| semiring.mul(av, x);
+            let add = |x, y| semiring.add(x, y);
+            let (acc, bytes) =
+                kernels::scatter_dense(&entries, a.transpose(), n, mask, desc, add, mul, rt);
+            store_accumulator(w, acc, desc.replace || mask.is_none());
+            bytes
+        }
+        _ => {
+            // Paper-faithful pull: dense value + presence buffers over
+            // the output dimension are the kernel's materialization.
+            let udense = u.dense_parts();
+            let bytes =
+                (n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>())) as u64;
+            let mut vals = vec![T::ZERO; n];
+            let mut present = vec![false; n];
+            {
+                let pv = ParSlice::new(&mut vals);
+                let pp = ParSlice::new(&mut present);
+                rt.parallel_for(n, |i| {
+                    if let Some(m) = mask {
+                        perfmon::instr(1);
+                        let pass =
+                            m.mask_at(i as u32, desc.mask_structural) != desc.mask_complement;
+                        if !pass {
+                            return;
+                        }
+                    }
+                    let (cols, avals) = a.row(i as u32);
+                    let mut acc = semiring.add_identity();
+                    let mut any = false;
+                    for (&k, &av) in cols.iter().zip(avals.iter()) {
+                        perfmon::instr(2);
+                        perfmon::touch_ref(&av);
+                        let x = match udense {
+                            Some((uvals, upresent)) => {
+                                perfmon::touch_ref(&uvals[k as usize]);
+                                upresent[k as usize].then(|| uvals[k as usize])
+                            }
+                            None => u.get(k),
+                        };
+                        if let Some(x) = x {
+                            acc = semiring.add(acc, semiring.mul(av, x));
+                            any = true;
+                        }
+                    }
+                    if any {
+                        // SAFETY: one writer per row.
+                        unsafe {
+                            perfmon::touch(pv.addr_of(i));
+                            pv.write(i, acc);
+                            pp.write(i, true);
+                        }
+                    }
+                });
+            }
+
+            if desc.replace || mask.is_none() {
+                w.set_dense(vals, present);
+            } else {
+                // Merge: keep previous entries where the mask did not pass.
+                let old = std::mem::replace(w, Vector::new(n));
+                let mut merged_vals = vals;
+                let mut merged_present = present;
+                for (i, x) in old.iter() {
+                    perfmon::instr(1);
+                    if !merged_present[i as usize] {
+                        merged_vals[i as usize] = x;
+                        merged_present[i as usize] = true;
+                    }
+                }
+                w.set_dense(merged_vals, merged_present);
+            }
+            bytes
+        }
+    };
     if let Some(span) = span {
-        span.finish(input_nnz, w.nvals(), materialized);
+        span.finish_kernel(
+            input_nnz,
+            w.nvals(),
+            accumulator_bytes as usize,
+            &selection,
+            accumulator_bytes,
+        );
     }
     Ok(())
 }
@@ -232,8 +297,7 @@ fn store_accumulator<T: Scalar>(w: &mut Vector<T>, acc: AtomicAccumulator<T>, re
     if replace {
         // Fresh contents: scan the accumulator once.
         let entries = acc.into_entries();
-        let density = if n == 0 { 0.0 } else { entries.len() as f64 / n as f64 };
-        if density >= crate::vector::DENSE_THRESHOLD {
+        if crate::vector::dense_preferred(entries.len(), n) {
             let mut vals = vec![T::ZERO; n];
             let mut present = vec![false; n];
             for &(i, v) in &entries {

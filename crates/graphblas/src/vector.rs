@@ -13,6 +13,17 @@ use crate::scalar::Scalar;
 /// fraction of its size is better stored densely.
 pub const DENSE_THRESHOLD: f64 = 0.10;
 
+/// Whether `nvals` explicit entries out of dimension `n` are better held
+/// densely — the single sparse↔dense crossover shared by
+/// [`Vector::optimize_store`], the SpMV result stores, and the kernel
+/// picker (see [`DENSE_THRESHOLD`]). Centralized so the storage decision
+/// and the kernel heuristic can never disagree about where "dense"
+/// begins.
+#[inline]
+pub fn dense_preferred(nvals: usize, n: usize) -> bool {
+    n > 0 && nvals as f64 / n as f64 >= DENSE_THRESHOLD
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Store<T> {
     /// Sorted, duplicate-free index/value pairs.
@@ -236,17 +247,29 @@ impl<T: Scalar> Vector<T> {
     }
 
     /// Picks the storage the entry density suggests (see
-    /// [`DENSE_THRESHOLD`]).
+    /// [`dense_preferred`]).
     pub fn optimize_store(&mut self) {
-        let density = if self.n == 0 {
-            0.0
-        } else {
-            self.nvals() as f64 / self.n as f64
-        };
-        if density >= DENSE_THRESHOLD {
+        if dense_preferred(self.nvals(), self.n) {
             self.to_dense();
         } else {
             self.to_sparse();
+        }
+    }
+
+    /// Number of explicit entries holding a non-zero value — what a
+    /// *valued* mask admits, as opposed to [`nvals`](Vector::nvals)
+    /// (structural presence). `O(nvals)` for sparse storage, `O(n)` for
+    /// dense; algorithms like bfs keep a dense distance vector full of
+    /// explicit zeros, so the kernel heuristic must count values, not
+    /// presence.
+    pub fn nonzeros(&self) -> usize {
+        match &self.store {
+            Store::Sparse { vals, .. } => vals.iter().filter(|v| v.is_nonzero()).count(),
+            Store::Dense { vals, present, .. } => vals
+                .iter()
+                .zip(present.iter())
+                .filter(|(v, &p)| p && v.is_nonzero())
+                .count(),
         }
     }
 
@@ -478,6 +501,39 @@ mod tests {
         let mut w = Vector::from_entries(4, vec![(0, 1u32), (1, 1), (2, 1)]).unwrap();
         w.optimize_store();
         assert!(w.is_dense_store());
+    }
+
+    #[test]
+    fn dense_preferred_boundary_is_exact() {
+        // Exactly DENSE_THRESHOLD (10%) flips to dense; one entry short
+        // of it stays sparse. optimize_store must agree bit-for-bit.
+        assert!(dense_preferred(1, 10));
+        assert!(!dense_preferred(1, 11));
+        assert!(dense_preferred(10, 100));
+        assert!(!dense_preferred(9, 100));
+        assert!(!dense_preferred(0, 10));
+        assert!(!dense_preferred(0, 0), "empty dimension is never dense");
+        let mut at = Vector::from_entries(10, vec![(3, 1u32)]).unwrap();
+        at.optimize_store();
+        assert!(at.is_dense_store(), "1/10 is exactly the threshold");
+        let mut below = Vector::from_entries(11, vec![(3, 1u32)]).unwrap();
+        below.to_dense();
+        below.optimize_store();
+        assert!(!below.is_dense_store(), "1/11 is under the threshold");
+    }
+
+    #[test]
+    fn nonzeros_counts_values_not_presence() {
+        let mut v: Vector<u32> = Vector::new(6);
+        v.set(0, 0).unwrap(); // explicit zero
+        v.set(1, 5).unwrap();
+        v.set(2, 0).unwrap(); // explicit zero
+        v.set(3, 1).unwrap();
+        assert_eq!(v.nvals(), 4);
+        assert_eq!(v.nonzeros(), 2);
+        v.to_dense();
+        assert_eq!(v.nonzeros(), 2, "dense store agrees");
+        assert_eq!(Vector::<u64>::new(4).nonzeros(), 0);
     }
 
     #[test]

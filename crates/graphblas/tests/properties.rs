@@ -5,8 +5,11 @@
 //! Runs on the in-tree harness (`substrate::prop`); set `STUDY_PROP_SEED`
 //! to replay a reported failure.
 
-use graphblas::binops::{Min, Plus, PlusTimes, Times};
-use graphblas::{ops, Descriptor, GaloisRuntime, Matrix, MethodHint, StaticRuntime, Vector};
+use graphblas::binops::{LorLand, Min, MinPlus, MinSecond, Plus, PlusTimes, SemiringOps, Times};
+use graphblas::{
+    ops, Descriptor, GaloisRuntime, KernelHint, Matrix, MethodHint, StaticRuntime, Vector,
+};
+use perfmon::trace::KernelChoice;
 use substrate::prop::{self, Gen};
 use substrate::prop_assert_eq;
 
@@ -140,7 +143,7 @@ fn vxm_equals_mxv_on_transpose() {
                 &mut pull,
                 None::<&Vector<u64>>,
                 PlusTimes,
-                &at,
+                at,
                 u,
                 &Descriptor::new(),
                 StaticRuntime,
@@ -182,7 +185,7 @@ fn vxm_equals_mxv_under_every_descriptor() {
                             ops::vxm(&mut push, m, PlusTimes, u, a, &desc, GaloisRuntime)
                                 .unwrap();
                             let mut pull: Vector<u64> = Vector::new(N);
-                            ops::mxv(&mut pull, m, PlusTimes, &at, u, &desc, StaticRuntime)
+                            ops::mxv(&mut pull, m, PlusTimes, at, u, &desc, StaticRuntime)
                                 .unwrap();
                             prop_assert_eq!(
                                 push.entries(),
@@ -193,6 +196,104 @@ fn vxm_equals_mxv_under_every_descriptor() {
                                 replace,
                                 structural
                             );
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+fn hint_of(choice: KernelChoice) -> KernelHint {
+    match choice {
+        KernelChoice::PushSparse => KernelHint::PushSparse,
+        KernelChoice::PushDense => KernelHint::PushDense,
+        KernelChoice::Pull => KernelHint::Pull,
+        KernelChoice::Unspecified => panic!("selection must name a concrete kernel"),
+    }
+}
+
+/// All three forced kernels, `auto`, and the kernel the cost model says
+/// `auto` delegates to must produce identical entries for one
+/// (semiring, mask, descriptor) combination — on both `vxm` and `mxv`.
+fn assert_spmv_kernels_agree<S: SemiringOps<u64>>(
+    name: &str,
+    semiring: S,
+    a: &Matrix<u64>,
+    u: &Vector<u64>,
+    m: Option<&Vector<u64>>,
+    desc: Descriptor,
+) -> Result<(), String> {
+    let run_vxm = |hint| {
+        let mut w: Vector<u64> = Vector::new(N);
+        ops::vxm(&mut w, m, semiring, u, a, &desc.with_kernel(hint), GaloisRuntime).unwrap();
+        w.entries()
+    };
+    let base = run_vxm(KernelHint::PushDense);
+    for hint in [KernelHint::PushSparse, KernelHint::Pull] {
+        prop_assert_eq!(run_vxm(hint), base.clone(), "{} vxm {:?}", name, hint);
+    }
+    prop_assert_eq!(run_vxm(KernelHint::Auto), base.clone(), "{} vxm auto", name);
+    let delegate = hint_of(ops::vxm_kernel_choice(u, a, m, &desc));
+    prop_assert_eq!(
+        run_vxm(delegate),
+        base.clone(),
+        "{} vxm delegate {:?}",
+        name,
+        delegate
+    );
+
+    let run_mxv = |hint| {
+        let mut w: Vector<u64> = Vector::new(N);
+        ops::mxv(&mut w, m, semiring, a, u, &desc.with_kernel(hint), StaticRuntime).unwrap();
+        w.entries()
+    };
+    let base = run_mxv(KernelHint::Pull);
+    for hint in [KernelHint::PushSparse, KernelHint::PushDense] {
+        prop_assert_eq!(run_mxv(hint), base.clone(), "{} mxv {:?}", name, hint);
+    }
+    prop_assert_eq!(run_mxv(KernelHint::Auto), base.clone(), "{} mxv auto", name);
+    let delegate = hint_of(ops::mxv_kernel_choice(u, a, m, &desc));
+    prop_assert_eq!(
+        run_mxv(delegate),
+        base.clone(),
+        "{} mxv delegate {:?}",
+        name,
+        delegate
+    );
+    Ok(())
+}
+
+#[test]
+fn kernels_agree_under_every_semiring_and_descriptor() {
+    // The tentpole invariant of the kernel-selection layer: push-sparse,
+    // push-dense and pull are three implementations of the same
+    // operation, so on every semiring the study uses x mask presence x
+    // complement x replace x structural combination they must be
+    // indistinguishable — and `auto` must match whichever kernel the
+    // cost model delegates to.
+    prop::check(
+        "kernels_agree_under_every_semiring_and_descriptor",
+        prop::cases(CASES),
+        |g| (arb_matrix(g), arb_vector(g), arb_mask(g)),
+        |(a, u, mask)| {
+            for masked in [false, true] {
+                for complement in [false, true] {
+                    for replace in [false, true] {
+                        for structural in [false, true] {
+                            if !masked && (complement || structural) {
+                                continue;
+                            }
+                            let desc = Descriptor::new()
+                                .with_mask_complement(complement)
+                                .with_replace(replace)
+                                .with_mask_structural(structural);
+                            let m: Option<&Vector<u64>> = masked.then_some(mask);
+                            assert_spmv_kernels_agree("plus_times", PlusTimes, a, u, m, desc)?;
+                            assert_spmv_kernels_agree("min_plus", MinPlus, a, u, m, desc)?;
+                            assert_spmv_kernels_agree("lor_land", LorLand, a, u, m, desc)?;
+                            assert_spmv_kernels_agree("min_second", MinSecond, a, u, m, desc)?;
                         }
                     }
                 }

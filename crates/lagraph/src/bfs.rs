@@ -5,6 +5,14 @@
 //! convergence check and a masked `vxm` — where the Lonestar version fuses
 //! everything into one loop (Algorithm 1). That 3-vs-1 pass count is the
 //! paper's *lightweight loops* limitation.
+//!
+//! The algorithm itself stays fixed-strategy push, but under the default
+//! `STUDY_KERNEL=auto` policy the `vxm` underneath direction-optimizes
+//! per round: sparse early frontiers scatter into pair lanes, saturated
+//! mid-frontiers use the dense accumulator, and late rounds pull only
+//! the still-unvisited vertices through the complemented mask — the
+//! GraphBLAST-style optimization living *below* the API, invisible to
+//! this code. `STUDY_KERNEL=push` restores the paper's cost model.
 
 use graph::{CsrGraph, NodeId};
 use graphblas::binops::LorLand;

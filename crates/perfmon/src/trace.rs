@@ -114,6 +114,37 @@ impl OpKind {
     }
 }
 
+/// Which specialized SpMV kernel a `vxm`/`mxv` call selected (GraphBLAST
+/// direction-optimization / GraphMat SPA style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelChoice {
+    /// The op does not go through kernel selection (everything except
+    /// `vxm` / `mxv`).
+    #[default]
+    Unspecified,
+    /// SAXPY scatter into a sparse per-thread accumulator (sorted-index
+    /// merge) — no dense intermediate.
+    PushSparse,
+    /// SAXPY scatter into the dense atomic accumulator sized by the
+    /// output dimension.
+    PushDense,
+    /// SDOT over rows of the (cached) transpose, iterating only
+    /// mask-admitted output indices.
+    Pull,
+}
+
+impl KernelChoice {
+    /// Stable lowercase label used in trace dumps and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelChoice::Unspecified => "none",
+            KernelChoice::PushSparse => "push_sparse",
+            KernelChoice::PushDense => "push_dense",
+            KernelChoice::Pull => "pull",
+        }
+    }
+}
+
 /// How an op's mask filtered its output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MaskMode {
@@ -159,6 +190,23 @@ pub struct OpSpan {
     /// Bytes of dense intermediate the kernel materialized (accumulators,
     /// scatter buffers); the paper's *materialization* cost.
     pub materialized_bytes: u64,
+    /// Which SpMV kernel ran ([`KernelChoice::Unspecified`] for ops that
+    /// do not go through kernel selection).
+    pub kernel: KernelChoice,
+    /// Bytes the chosen kernel's accumulator actually held: the dense
+    /// buffer size for push-dense / pull-dense, the collected `(index,
+    /// value)` pairs for the sparse kernels.
+    pub accumulator_bytes: u64,
+    /// Heuristic input: summed matrix row degrees over the input's
+    /// explicit entries (0 when selection was forced and the heuristic
+    /// never ran).
+    pub frontier_degree: u64,
+    /// Heuristic input: explicit entries in the matrix operand (0 when
+    /// the heuristic never ran).
+    pub matrix_nnz: u64,
+    /// Heuristic input: estimated output slots the mask admits (0 when
+    /// the heuristic never ran).
+    pub mask_admitted: u64,
     /// Wall time of the call.
     pub elapsed_ns: u64,
 }
@@ -395,8 +443,15 @@ impl Trace {
                 Event::Op(op) => {
                     s.ops += 1;
                     s.materialized_bytes += op.materialized_bytes;
+                    s.accumulator_bytes += op.accumulator_bytes;
                     if op.kind.is_product() {
                         s.product_rounds += 1;
+                    }
+                    match op.kernel {
+                        KernelChoice::Unspecified => {}
+                        KernelChoice::PushSparse => s.kernel_push_sparse += 1,
+                        KernelChoice::PushDense => s.kernel_push_dense += 1,
+                        KernelChoice::Pull => s.kernel_pull += 1,
                     }
                 }
                 Event::Loop(l) => {
@@ -424,7 +479,7 @@ impl Trace {
             .iter()
             .map(|e| match e {
                 Event::Op(s) => format!(
-                    "op {} {} in={} out={} mask={} comp={} replace={} mat={}",
+                    "op {} {} in={} out={} mask={} comp={} replace={} mat={} kernel={} acc={}",
                     s.backend,
                     s.kind.name(),
                     s.input_nnz,
@@ -433,6 +488,8 @@ impl Trace {
                     s.mask_complement,
                     s.replace,
                     s.materialized_bytes,
+                    s.kernel.name(),
+                    s.accumulator_bytes,
                 ),
                 Event::Loop(s) => format!("loop {} iters={}", s.kind.name(), s.iterations),
             })
@@ -462,6 +519,15 @@ pub struct TraceSummary {
     pub bucket_visits: u64,
     /// Dense intermediate bytes materialized by GraphBLAS kernels.
     pub materialized_bytes: u64,
+    /// Accumulator bytes the selected SpMV kernels actually held (equals
+    /// `materialized_bytes` for SpMV ops; other ops contribute 0).
+    pub accumulator_bytes: u64,
+    /// SpMV calls that selected the sparse push kernel.
+    pub kernel_push_sparse: u64,
+    /// SpMV calls that selected the dense push kernel.
+    pub kernel_push_dense: u64,
+    /// SpMV calls that selected the masked pull kernel.
+    pub kernel_pull: u64,
     /// Events lost to ring eviction.
     pub dropped: u64,
 }
@@ -485,6 +551,11 @@ mod tests {
             mask_complement: true,
             replace: true,
             materialized_bytes: materialized,
+            kernel: KernelChoice::PushDense,
+            accumulator_bytes: materialized,
+            frontier_degree: 9,
+            matrix_nnz: 20,
+            mask_admitted: 4,
             elapsed_ns: 17,
         })
     }
@@ -529,6 +600,9 @@ mod tests {
         assert_eq!(s.passes, 2, "matrix-API trace counts ops as passes");
         assert_eq!(s.product_rounds, 1);
         assert_eq!(s.materialized_bytes, 128);
+        assert_eq!(s.accumulator_bytes, 128, "synthetic spans set acc == mat");
+        assert_eq!(s.kernel_push_dense, 2);
+        assert_eq!(s.kernel_push_sparse + s.kernel_pull, 0);
         assert_eq!(s.iterations, 10);
         assert_eq!(s.dropped, 0);
     }

@@ -3,13 +3,15 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
+                                        [--expect-schema v1|v2]
 
-Both files must carry the same ``schema`` string ("graph-api-study/
-bench-baseline/v1"); a mismatch is a hard failure (exit 2) because the
-cells are not comparable across schema revisions. Cells are keyed by
-(problem, system, graph). For every cell present in both files the
-tracing-off ``wall_s`` is compared; a slowdown beyond the threshold
-(default 20%) is reported as a regression.
+Both files must carry the ``schema`` string selected by
+``--expect-schema`` (default v2, "graph-api-study/bench-baseline/v2");
+a mismatch is a hard failure (exit 2) because the cells are not
+comparable across schema revisions. Cells are keyed by (problem, system,
+graph). For every cell present in both files the tracing-off ``wall_s``
+is compared; a slowdown beyond the threshold (default 20%) is reported
+as a regression.
 
 By default regressions only warn (exit 0) — CI wall times on shared
 runners are too noisy for a hard gate — but ``--fail-on-regression``
@@ -17,17 +19,31 @@ turns them into exit 1 for local use. Missing cells, unverified cells,
 and trace-counter drifts (passes / product_rounds / materialized_bytes,
 which are deterministic and *should* be stable) are always reported.
 
+Materialization is additionally gated for the frontier problems: a
+``materialized_bytes`` RISE on any bfs or sssp cell is a hard ERROR
+(exit 1) — the sparsity-adaptive kernel layer exists precisely to keep
+those cells' accumulator footprints from creeping back up. A DROP on
+those cells is an accepted improvement and reported as a note.
+
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
-or malformed input, 2 schema mismatch.
+or malformed input or a frontier materialization rise, 2 schema
+mismatch.
 """
 
 import json
 import sys
 
-SCHEMA = "graph-api-study/bench-baseline/v1"
+SCHEMAS = {
+    "v1": "graph-api-study/bench-baseline/v1",
+    "v2": "graph-api-study/bench-baseline/v2",
+}
+DEFAULT_SCHEMA = "v2"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
+# Problems whose materialized_bytes must never rise: their frontiers are
+# what the adaptive SpMV kernels compact.
+MATERIALIZATION_GATED = ("bfs", "sssp")
 # Ignore relative slowdowns below this absolute delta: sub-millisecond
 # cells are pure timer noise at any percentage.
 MIN_DELTA_S = 0.005
@@ -54,6 +70,7 @@ def main(argv):
     args = [a for a in argv if not a.startswith("--")]
     fail_on_regression = "--fail-on-regression" in argv
     threshold = 20.0
+    expect = DEFAULT_SCHEMA
     if "--threshold" in argv:
         i = argv.index("--threshold")
         try:
@@ -62,16 +79,30 @@ def main(argv):
         except (IndexError, ValueError):
             print("error: --threshold needs a number", file=sys.stderr)
             return 1
+    if "--expect-schema" in argv:
+        i = argv.index("--expect-schema")
+        try:
+            expect = argv[i + 1]
+            args.remove(argv[i + 1])
+        except IndexError:
+            expect = ""
+        if expect not in SCHEMAS:
+            print(
+                f"error: --expect-schema must be one of {sorted(SCHEMAS)}",
+                file=sys.stderr,
+            )
+            return 1
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 1
+    schema = SCHEMAS[expect]
     base_path, cur_path = args
     base, cur = load(base_path), load(cur_path)
 
-    if base["schema"] != SCHEMA or cur["schema"] != SCHEMA:
+    if base["schema"] != schema or cur["schema"] != schema:
         print(
             f"error: schema mismatch: {base_path} has {base['schema']!r}, "
-            f"{cur_path} has {cur['schema']!r}, expected {SCHEMA!r}",
+            f"{cur_path} has {cur['schema']!r}, expected {schema!r}",
             file=sys.stderr,
         )
         return 2
@@ -84,8 +115,13 @@ def main(argv):
             f"note: scales differ ({base.get('scale')} vs {cur.get('scale')}); "
             "wall times and counters are not comparable, checking coverage only"
         )
+    if base.get("kernel_mode") != cur.get("kernel_mode"):
+        print(
+            f"note: kernel modes differ ({base.get('kernel_mode')} vs "
+            f"{cur.get('kernel_mode')}); counter drifts are expected"
+        )
 
-    regressions, warnings, errors = [], [], []
+    regressions, warnings, errors, notes = [], [], [], []
 
     for k in sorted(base_cells):
         if k not in cur_cells:
@@ -108,11 +144,26 @@ def main(argv):
                 f"(+{(cw / bw - 1) * 100.0:.0f}%, threshold {threshold:.0f}%)"
             )
         bt, ct = b.get("trace", {}), c.get("trace", {})
+        gated = k[0] in MATERIALIZATION_GATED
         for counter in STABLE_COUNTERS:
             if counter in bt and counter in ct and bt[counter] != ct[counter]:
-                warnings.append(
-                    f"{name}: {counter} drifted {bt[counter]} -> {ct[counter]}"
-                )
+                if counter == "materialized_bytes" and gated:
+                    if ct[counter] > bt[counter]:
+                        errors.append(
+                            f"{name}: materialized_bytes ROSE "
+                            f"{bt[counter]} -> {ct[counter]} (frontier cells "
+                            "must not re-grow their accumulators)"
+                        )
+                    else:
+                        notes.append(
+                            f"{name}: materialized_bytes dropped "
+                            f"{bt[counter]} -> {ct[counter]} (accepted "
+                            "improvement; re-baseline to lock it in)"
+                        )
+                else:
+                    warnings.append(
+                        f"{name}: {counter} drifted {bt[counter]} -> {ct[counter]}"
+                    )
 
     for msg in errors:
         print(f"ERROR: {msg}")
@@ -120,11 +171,14 @@ def main(argv):
         print(f"REGRESSION: {msg}")
     for msg in warnings:
         print(f"warning: {msg}")
+    for msg in notes:
+        print(f"note: {msg}")
 
     shared = len(set(base_cells) & set(cur_cells))
     print(
         f"compared {shared} cells: {len(regressions)} regression(s), "
-        f"{len(warnings)} warning(s), {len(errors)} error(s)"
+        f"{len(warnings)} warning(s), {len(errors)} error(s), "
+        f"{len(notes)} note(s)"
     )
     if errors:
         return 1

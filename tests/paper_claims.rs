@@ -7,11 +7,35 @@
 //! a mutex.
 
 use graph_api_study::graph::{Scale, StudyGraph};
+use graph_api_study::graphblas::ops::{kernel_mode, set_kernel_mode, KernelMode};
 use graph_api_study::perfmon;
 use graph_api_study::study_core::{run, PreparedGraph, Problem, System};
 use std::sync::Mutex;
 
 static PERF_LOCK: Mutex<()> = Mutex::new(());
+
+/// Pins the process-wide SpMV policy to the paper's fixed strategies for
+/// the duration of a counter test (the quantitative claims below describe
+/// the *paper's* kernels, not the direction-optimizing `auto` ones) and
+/// restores the previous policy on drop. Callers must already hold
+/// `PERF_LOCK` — kernel policy is process-global, like the counters.
+struct KernelPin {
+    prev: KernelMode,
+}
+
+impl KernelPin {
+    fn paper_kernels() -> KernelPin {
+        let prev = kernel_mode();
+        set_kernel_mode(KernelMode::Push);
+        KernelPin { prev }
+    }
+}
+
+impl Drop for KernelPin {
+    fn drop(&mut self) {
+        set_kernel_mode(self.prev);
+    }
+}
 
 fn counters_for(system: System, problem: Problem, p: &PreparedGraph) -> perfmon::Counters {
     perfmon::reset();
@@ -24,6 +48,7 @@ fn counters_for(system: System, problem: Problem, p: &PreparedGraph) -> perfmon:
 
 fn assert_gb_exceeds_ls(problem: Problem, which: StudyGraph, min_instr_ratio: f64) {
     let _guard = PERF_LOCK.lock().unwrap();
+    let _pin = KernelPin::paper_kernels();
     let p = PreparedGraph::study(which, Scale::custom(1.0 / 32.0));
     let gb = counters_for(System::GaloisBlas, problem, &p);
     let ls = counters_for(System::Lonestar, problem, &p);
@@ -70,6 +95,7 @@ fn tc_materializes_more_memory_traffic_not_instructions() {
     // Table II variants (SandiaDot vs listing) the signature the paper
     // reports is on memory accesses.
     let _guard = PERF_LOCK.lock().unwrap();
+    let _pin = KernelPin::paper_kernels();
     let p = PreparedGraph::study(StudyGraph::Uk07, Scale::custom(1.0 / 32.0));
     let gb = counters_for(System::GaloisBlas, Problem::Tc, &p);
     let ls = counters_for(System::Lonestar, Problem::Tc, &p);
@@ -88,6 +114,7 @@ fn pr_double_traversal_of_residual_shows_in_memory_accesses() {
     use graph_api_study::study_core::runner::run_variant;
     use graph_api_study::study_core::Variant;
     let _guard = PERF_LOCK.lock().unwrap();
+    let _pin = KernelPin::paper_kernels();
     let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 32.0));
     let measure = |variant| {
         perfmon::reset();
@@ -117,6 +144,7 @@ fn traced_bfs_shows_extra_passes_and_materialization() {
     use graph_api_study::perfmon::trace::OpKind;
     use graph_api_study::study_core::traced_run;
     let _guard = PERF_LOCK.lock().unwrap();
+    let _pin = KernelPin::paper_kernels();
     let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 32.0));
     let gb = traced_run(System::GaloisBlas, Problem::Bfs, &p);
     let ls = traced_run(System::Lonestar, Problem::Bfs, &p);
@@ -150,6 +178,37 @@ fn traced_bfs_shows_extra_passes_and_materialization() {
     assert_eq!(lss.ops, 0, "LS bfs must not issue matrix ops");
     assert_eq!(lss.materialized_bytes, 0, "LS bfs materializes nothing");
     assert!(lss.loops > 0, "LS bfs runs worklist loops");
+}
+
+#[test]
+fn adaptive_kernels_cut_bfs_materialization() {
+    // The sparsity-adaptive kernel layer must strictly reduce the summed
+    // accumulator materialization of bfs on both backends — early sparse
+    // frontiers scatter into pair lanes instead of a dense accumulator,
+    // late rounds pull only the unvisited outputs — while computing the
+    // exact same levels as the paper's fixed push strategy.
+    use graph_api_study::study_core::traced_run;
+    let _guard = PERF_LOCK.lock().unwrap();
+    let prev = kernel_mode();
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 32.0));
+    for system in [System::SuiteSparse, System::GaloisBlas] {
+        set_kernel_mode(KernelMode::Push);
+        let push = traced_run(system, Problem::Bfs, &p);
+        set_kernel_mode(KernelMode::Auto);
+        let auto = traced_run(system, Problem::Bfs, &p);
+        set_kernel_mode(prev);
+        assert_eq!(
+            push.output, auto.output,
+            "{system:?}: auto must reproduce the fixed strategy's levels"
+        );
+        let push_bytes = push.trace.summary().materialized_bytes;
+        let auto_bytes = auto.trace.summary().materialized_bytes;
+        assert!(
+            auto_bytes < push_bytes,
+            "{system:?}: auto materialized {auto_bytes} bytes, expected strictly \
+             less than push's {push_bytes}"
+        );
+    }
 }
 
 #[test]
