@@ -10,17 +10,29 @@
 //! STUDY_SCALE=0.03 cargo run -p bench --bin baseline --release
 //! ```
 //!
+//! The sweep is *resilient*: every cell runs inside
+//! [`study_core::cell::run_protected`], so a panicking operator, an
+//! exhausted `STUDY_MEM_BUDGET`, an injected `STUDY_FAULTS` failure or a
+//! cell outliving `STUDY_CELL_TIMEOUT_MS` costs that one cell — recorded
+//! with `status: failed|oom|timeout` and the error message — and the
+//! sweep continues. The process still exits nonzero (after writing the
+//! file) when any cell did not verify or did not complete.
+//!
 //! `scripts/compare_bench.py` diffs two such files and flags >20% wall
 //! regressions; CI runs it against the committed seed baseline.
 
-use study_core::{timed_run, traced_run, verify, Json, Problem, System};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use study_core::cell::{cell_timeout_from_env, run_protected, CellOutcome};
+use study_core::{try_run, verify, Json, PreparedGraph, Problem, ProblemOutput, System};
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v2 adds the SpMV
-/// kernel-selection counters (`accumulator_bytes`, per-kernel dispatch
-/// counts) to each cell's trace summary and the process-wide
-/// `kernel_mode` to the header.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v2";
+/// (`compare_bench.py` hard-fails on mismatch). v3 adds the per-cell
+/// `status` (`ok|failed|timeout|oom`, with `error` on non-ok cells) and
+/// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
+/// to the header; v2 added the SpMV kernel-selection counters and
+/// `kernel_mode`.
+const SCHEMA: &str = "graph-api-study/bench-baseline/v3";
 
 /// Graphs used when `STUDY_GRAPHS` is unset: one scale-free, one road,
 /// one web graph — the three topology classes of Table I.
@@ -68,6 +80,45 @@ fn kernel_mode_name() -> &'static str {
     }
 }
 
+/// Everything one completed cell reports.
+struct CellRun {
+    wall: Duration,
+    traced_wall: Duration,
+    output: ProblemOutput,
+    summary: perfmon::trace::TraceSummary,
+}
+
+/// One protected cell: `repeats` timed runs with tracing off (the
+/// regression-gate numbers) plus one traced run for the counters, all
+/// inside the isolation boundary so one bad cell cannot sink the sweep.
+fn run_one_cell(
+    system: System,
+    problem: Problem,
+    p: &Arc<PreparedGraph>,
+    repeats: u32,
+) -> CellOutcome<CellRun> {
+    let p = Arc::clone(p);
+    run_protected(cell_timeout_from_env(), move || {
+        let mut total = Duration::ZERO;
+        let mut first = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let output = try_run(system, problem, &p)?;
+            total += start.elapsed();
+            first.get_or_insert(output);
+        }
+        let start = Instant::now();
+        let (traced, trace) = perfmon::trace::with_trace(|| try_run(system, problem, &p));
+        traced?;
+        Ok(CellRun {
+            wall: total / repeats.max(1),
+            traced_wall: start.elapsed(),
+            output: first.expect("repeats >= 1"),
+            summary: trace.summary(),
+        })
+    })
+}
+
 fn main() {
     let out = out_path();
     if std::env::var("STUDY_GRAPHS").is_err() {
@@ -75,7 +126,10 @@ fn main() {
     }
     let scale = bench::scale_from_env();
     let repeats = bench::repeats_from_env();
-    let prepared = bench::prepare_graphs(scale);
+    let prepared: Vec<Arc<PreparedGraph>> = bench::prepare_graphs(scale)
+        .into_iter()
+        .map(Arc::new)
+        .collect();
 
     let mut graphs = Vec::new();
     for p in &prepared {
@@ -88,39 +142,48 @@ fn main() {
 
     let mut cells = Vec::new();
     let mut failures = 0u32;
+    let mut incomplete = 0u32;
     for problem in Problem::all() {
         for system in System::all() {
             for p in &prepared {
-                // Timed runs with tracing off (the numbers the regression
-                // gate compares), then one traced run for the counters.
-                let (elapsed, m) = bench::timed_avg(repeats, || {
-                    let m = timed_run(system, problem, p);
-                    (m.elapsed, m)
-                });
-                let traced = traced_run(system, problem, p);
-                let verified = match verify::verify(p, problem, &m.output) {
-                    Ok(()) => true,
-                    Err(e) => {
-                        eprintln!("[verify] {system} {problem} {}: {e}", p.name);
-                        failures += 1;
-                        false
-                    }
-                };
-                eprintln!(
-                    "[cell] {problem} {system} {}: {:.3}s, {} ops, {} loops",
-                    p.name,
-                    elapsed.as_secs_f64(),
-                    traced.trace.summary().ops,
-                    traced.trace.summary().loops,
-                );
+                let outcome = run_one_cell(system, problem, p, repeats);
                 let mut cell = Json::obj();
                 cell.push("problem", problem.to_string());
                 cell.push("system", system.to_string());
                 cell.push("graph", p.name.clone());
-                cell.push("wall_s", elapsed.as_secs_f64());
-                cell.push("traced_wall_s", traced.elapsed.as_secs_f64());
-                cell.push("verified", verified);
-                cell.push("trace", summary_json(&traced.trace.summary()));
+                cell.push("status", outcome.status.name());
+                match outcome.value {
+                    Some(run) => {
+                        let verified = match verify::verify(p, problem, &run.output) {
+                            Ok(()) => true,
+                            Err(e) => {
+                                eprintln!("[verify] {system} {problem} {}: {e}", p.name);
+                                failures += 1;
+                                false
+                            }
+                        };
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {:.3}s, {} ops, {} loops",
+                            p.name,
+                            run.wall.as_secs_f64(),
+                            run.summary.ops,
+                            run.summary.loops,
+                        );
+                        cell.push("wall_s", run.wall.as_secs_f64());
+                        cell.push("traced_wall_s", run.traced_wall.as_secs_f64());
+                        cell.push("verified", verified);
+                        cell.push("trace", summary_json(&run.summary));
+                    }
+                    None => {
+                        let error = outcome.error.unwrap_or_default();
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {} ({error})",
+                            p.name, outcome.status,
+                        );
+                        incomplete += 1;
+                        cell.push("error", error);
+                    }
+                }
                 cells.push(cell);
             }
         }
@@ -129,6 +192,18 @@ fn main() {
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
+    doc.push(
+        "fault_plan",
+        substrate::fault::plan_spec().unwrap_or_else(|| "none".to_string()),
+    );
+    match graphblas::ops::mem_budget() {
+        Some(b) => doc.push("mem_budget", b),
+        None => doc.push("mem_budget", Json::Null),
+    };
+    doc.push(
+        "cell_timeout_ms",
+        cell_timeout_from_env().map_or(0, |d| d.as_millis() as u64),
+    );
     doc.push("scale", scale.factor());
     doc.push("threads", galois_rt::threads());
     doc.push("repeats", u64::from(repeats));
@@ -146,8 +221,10 @@ fn main() {
         System::all().len(),
         prepared.len(),
     );
-    if failures > 0 {
-        eprintln!("[baseline] {failures} cells FAILED verification");
+    if failures > 0 || incomplete > 0 {
+        eprintln!(
+            "[baseline] {failures} cells FAILED verification, {incomplete} did not complete"
+        );
         std::process::exit(1);
     }
 }

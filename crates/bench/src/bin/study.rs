@@ -21,10 +21,11 @@
 //!
 //! Example: `study sssp --graph road-USA --scale 0.5 --system LS --perf`
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use study_core::cell::{cell_timeout_from_env, run_protected};
 use study_core::report::secs;
-use study_core::{
-    json, timed_run, traced_run, verify, PreparedGraph, Problem, ProblemOutput, System,
-};
+use study_core::{json, try_run, verify, PreparedGraph, Problem, ProblemOutput, System};
 
 struct Options {
     problem: Problem,
@@ -160,7 +161,7 @@ fn main() {
         galois_rt::set_threads(t);
     }
     eprintln!("[study] preparing {} (scale {}) ...", opts.graph, opts.scale);
-    let p = load_graph(&opts);
+    let p = Arc::new(load_graph(&opts));
     println!(
         "{}: {} vertices, {} edges, source {}",
         p.name,
@@ -168,17 +169,40 @@ fn main() {
         p.graph.num_edges(),
         p.source
     );
+    let mut bad = false;
     for &system in &opts.systems {
         perfmon::reset();
         perfmon::enable(opts.perf);
-        let (elapsed, output, trace) = if opts.trace {
-            let m = traced_run(system, opts.problem, &p);
-            (m.elapsed, m.output, Some(m.trace))
-        } else {
-            let m = timed_run(system, opts.problem, &p);
-            (m.elapsed, m.output, None)
-        };
+        // The cell runs behind the same isolation boundary as a baseline
+        // sweep, so injected faults, memory-budget exhaustion and hangs
+        // report a status instead of aborting the process.
+        let problem = opts.problem;
+        let do_trace = opts.trace;
+        let shared = Arc::clone(&p);
+        let outcome = run_protected(
+            cell_timeout_from_env(),
+            move || -> Result<(Duration, ProblemOutput, _), graphblas::GrbError> {
+                let start = Instant::now();
+                if do_trace {
+                    let (out, trace) =
+                        perfmon::trace::with_trace(|| try_run(system, problem, &shared));
+                    Ok((start.elapsed(), out?, Some(trace)))
+                } else {
+                    let out = try_run(system, problem, &shared)?;
+                    Ok((start.elapsed(), out, None))
+                }
+            },
+        );
         perfmon::enable(false);
+        let Some((elapsed, output, trace)) = outcome.value else {
+            println!(
+                "{system:>2}  [{}] {}",
+                outcome.status,
+                outcome.error.unwrap_or_default()
+            );
+            bad = true;
+            continue;
+        };
         let status = if opts.verify {
             match verify::verify(&p, opts.problem, &output) {
                 Ok(()) => "verified",
@@ -225,6 +249,9 @@ fn main() {
                 Err(e) => eprintln!("[study] cannot write {path}: {e}"),
             }
         }
+    }
+    if bad {
+        std::process::exit(1);
     }
 }
 

@@ -12,6 +12,9 @@
 //!   way the paper excludes loading/preprocessing;
 //! * [`runner`] — a uniform `System × Problem → output` dispatcher with
 //!   wall-clock timing;
+//! * [`cell`] — the resilient-sweep isolation boundary: `catch_unwind` +
+//!   `STUDY_CELL_TIMEOUT_MS` watchdog around every (problem, system,
+//!   graph) cell, reducing failures to `ok|failed|timeout|oom`;
 //! * [`mod@reference`] — serial reference implementations every parallel
 //!   result is verified against;
 //! * [`verify`] — output comparisons (exact, partition-equivalence or
@@ -21,6 +24,7 @@
 //! * [`json`] — hand-rolled JSON emission (hermetic: no serde) for
 //!   `BENCH_baseline.json` and trace dumps.
 
+pub mod cell;
 pub mod json;
 pub mod prepared;
 pub mod problem;
@@ -29,7 +33,11 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
+pub use cell::{cell_timeout_from_env, run_cell, run_protected, CellOutcome, CellStatus};
 pub use json::Json;
 pub use prepared::PreparedGraph;
 pub use problem::{Problem, ProblemOutput, System, Variant};
-pub use runner::{run, timed_run, traced_run, traced_run_variant, RunMeasurement, TracedMeasurement};
+pub use runner::{
+    run, timed_run, traced_run, traced_run_variant, try_run, try_run_variant, RunMeasurement,
+    TracedMeasurement,
+};

@@ -2,7 +2,7 @@
 
 use crate::prepared::PreparedGraph;
 use crate::problem::{Problem, ProblemOutput, System, Variant};
-use graphblas::{GaloisRuntime, Runtime, StaticRuntime};
+use graphblas::{GaloisRuntime, GrbError, Runtime, StaticRuntime};
 use std::time::{Duration, Instant};
 
 /// One timed measurement.
@@ -14,18 +14,37 @@ pub struct RunMeasurement {
     pub output: ProblemOutput,
 }
 
+/// Runs `problem` on `system` over the prepared graph, surfacing
+/// GraphBLAS failures (memory-budget exhaustion, injected faults) as
+/// [`GrbError`] instead of panicking — what the resilient study runner
+/// ([`crate::cell`]) calls.
+///
+/// # Errors
+///
+/// Propagates [`GrbError`] from the matrix-API systems; the Lonestar
+/// implementations are infallible.
+pub fn try_run(
+    system: System,
+    problem: Problem,
+    p: &PreparedGraph,
+) -> Result<ProblemOutput, GrbError> {
+    match system {
+        System::SuiteSparse => try_run_lagraph(problem, p, StaticRuntime),
+        System::GaloisBlas => try_run_lagraph(problem, p, GaloisRuntime),
+        System::Lonestar => Ok(run_lonestar(problem, p)),
+    }
+}
+
 /// Runs `problem` on `system` over the prepared graph.
 ///
 /// # Panics
 ///
-/// Panics only on internal errors (the GraphBLAS calls cannot fail on a
-/// well-formed [`PreparedGraph`]).
+/// Panics on any [`GrbError`] (which cannot occur on a well-formed
+/// [`PreparedGraph`] without a memory budget or fault plan active); use
+/// [`try_run`] to handle failures.
 pub fn run(system: System, problem: Problem, p: &PreparedGraph) -> ProblemOutput {
-    match system {
-        System::SuiteSparse => run_lagraph(problem, p, StaticRuntime),
-        System::GaloisBlas => run_lagraph(problem, p, GaloisRuntime),
-        System::Lonestar => run_lonestar(problem, p),
-    }
+    try_run(system, problem, p)
+        .unwrap_or_else(|e| panic!("{problem} on {system} failed: {e}"))
 }
 
 /// Runs and times `problem` on `system`.
@@ -78,38 +97,31 @@ pub fn traced_run_variant(variant: Variant, p: &PreparedGraph) -> TracedMeasurem
     }
 }
 
-fn run_lagraph<R: Runtime>(problem: Problem, p: &PreparedGraph, rt: R) -> ProblemOutput {
-    match problem {
-        Problem::Bfs => ProblemOutput::Levels(
-            lagraph::bfs::bfs(&p.graph, p.source, rt)
-                .expect("bfs on a prepared graph")
-                .level,
-        ),
+fn try_run_lagraph<R: Runtime>(
+    problem: Problem,
+    p: &PreparedGraph,
+    rt: R,
+) -> Result<ProblemOutput, GrbError> {
+    Ok(match problem {
+        Problem::Bfs => {
+            ProblemOutput::Levels(lagraph::bfs::bfs(&p.graph, p.source, rt)?.level)
+        }
         Problem::Cc => ProblemOutput::Components(
-            lagraph::cc::connected_components(&p.symmetric, rt)
-                .expect("cc on a prepared graph")
-                .component,
+            lagraph::cc::connected_components(&p.symmetric, rt)?.component,
         ),
         Problem::Ktruss => ProblemOutput::TrussEdges(
-            lagraph::ktruss::ktruss(&p.symmetric, p.ktruss_k, rt)
-                .expect("ktruss on a prepared graph")
-                .edges_remaining,
+            lagraph::ktruss::ktruss(&p.symmetric, p.ktruss_k, rt)?.edges_remaining,
         ),
-        Problem::Pr => ProblemOutput::Ranks(
-            lagraph::pagerank::pagerank(&p.graph, p.pr_iters, rt)
-                .expect("pr on a prepared graph"),
-        ),
+        Problem::Pr => {
+            ProblemOutput::Ranks(lagraph::pagerank::pagerank(&p.graph, p.pr_iters, rt)?)
+        }
         Problem::Sssp => ProblemOutput::Dists(
-            lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, rt)
-                .expect("sssp on a prepared graph")
-                .dist,
+            lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, rt)?.dist,
         ),
-        Problem::Tc => ProblemOutput::Triangles(
-            lagraph::tc::tc_sandia_dot(&p.symmetric, rt)
-                .expect("tc on a prepared graph")
-                .triangles,
-        ),
-    }
+        Problem::Tc => {
+            ProblemOutput::Triangles(lagraph::tc::tc_sandia_dot(&p.symmetric, rt)?.triangles)
+        }
+    })
 }
 
 fn run_lonestar(problem: Problem, p: &PreparedGraph) -> ProblemOutput {
@@ -133,15 +145,16 @@ fn run_lonestar(problem: Problem, p: &PreparedGraph) -> ProblemOutput {
     }
 }
 
-/// Runs one differential-analysis variant (Figure 3).
+/// Runs one differential-analysis variant (Figure 3), surfacing
+/// GraphBLAS failures as [`GrbError`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics only on internal errors.
-pub fn run_variant(variant: Variant, p: &PreparedGraph) -> ProblemOutput {
+/// Propagates [`GrbError`] from the matrix-API variants.
+pub fn try_run_variant(variant: Variant, p: &PreparedGraph) -> Result<ProblemOutput, GrbError> {
     use Variant::*;
     let rt = GaloisRuntime;
-    match variant {
+    Ok(match variant {
         PrLs => ProblemOutput::Ranks(lonestar::pagerank::pagerank(
             &p.transpose,
             &p.out_degrees,
@@ -152,35 +165,24 @@ pub fn run_variant(variant: Variant, p: &PreparedGraph) -> ProblemOutput {
             &p.out_degrees,
             p.pr_iters,
         )),
-        PrGbRes => ProblemOutput::Ranks(
-            lagraph::pagerank::pagerank_residual(&p.graph, p.pr_iters, rt)
-                .expect("pr-gb-res"),
-        ),
-        PrGb => ProblemOutput::Ranks(
-            lagraph::pagerank::pagerank(&p.graph, p.pr_iters, rt).expect("pr-gb"),
-        ),
+        PrGbRes => ProblemOutput::Ranks(lagraph::pagerank::pagerank_residual(
+            &p.graph, p.pr_iters, rt,
+        )?),
+        PrGb => ProblemOutput::Ranks(lagraph::pagerank::pagerank(&p.graph, p.pr_iters, rt)?),
         TcLs => ProblemOutput::Triangles(lonestar::tc::tc(&p.sorted)),
-        TcGbLl => ProblemOutput::Triangles(
-            lagraph::tc::tc_listing(&p.sorted, rt).expect("tc-gb-ll").triangles,
-        ),
-        TcGbSort => ProblemOutput::Triangles(
-            lagraph::tc::tc_sandia_dot(&p.sorted, rt)
-                .expect("tc-gb-sort")
-                .triangles,
-        ),
-        TcGb => ProblemOutput::Triangles(
-            lagraph::tc::tc_sandia_dot(&p.symmetric, rt)
-                .expect("tc-gb")
-                .triangles,
-        ),
+        TcGbLl => ProblemOutput::Triangles(lagraph::tc::tc_listing(&p.sorted, rt)?.triangles),
+        TcGbSort => {
+            ProblemOutput::Triangles(lagraph::tc::tc_sandia_dot(&p.sorted, rt)?.triangles)
+        }
+        TcGb => {
+            ProblemOutput::Triangles(lagraph::tc::tc_sandia_dot(&p.symmetric, rt)?.triangles)
+        }
         CcLs => ProblemOutput::Components(lonestar::cc::afforest(&p.symmetric, 2).component),
         CcLsSv => {
             ProblemOutput::Components(lonestar::cc::shiloach_vishkin(&p.symmetric).component)
         }
         CcGb => ProblemOutput::Components(
-            lagraph::cc::connected_components(&p.symmetric, rt)
-                .expect("cc-gb")
-                .component,
+            lagraph::cc::connected_components(&p.symmetric, rt)?.component,
         ),
         SsspLs => ProblemOutput::Dists(
             lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, true).dist,
@@ -189,11 +191,20 @@ pub fn run_variant(variant: Variant, p: &PreparedGraph) -> ProblemOutput {
             lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, false).dist,
         ),
         SsspGb => ProblemOutput::Dists(
-            lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, rt)
-                .expect("sssp-gb")
-                .dist,
+            lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, rt)?.dist,
         ),
-    }
+    })
+}
+
+/// Runs one differential-analysis variant (Figure 3).
+///
+/// # Panics
+///
+/// Panics on any [`GrbError`]; use [`try_run_variant`] to handle
+/// failures.
+pub fn run_variant(variant: Variant, p: &PreparedGraph) -> ProblemOutput {
+    try_run_variant(variant, p)
+        .unwrap_or_else(|e| panic!("variant {} failed: {e}", variant.name()))
 }
 
 /// Runs and times one variant.

@@ -43,6 +43,7 @@ pub mod obim;
 pub mod pool;
 pub mod reduce;
 pub mod substrate;
+pub mod watchdog;
 
 pub use bag::InsertBag;
 pub use do_all::{do_all, do_all_chunked, do_all_static, on_each};

@@ -146,7 +146,9 @@ impl ThreadPool {
     ///
     /// If any participant panics, the region still runs to completion on
     /// the other threads (so no worker is lost) and the first panic is
-    /// then rethrown on the calling thread.
+    /// then rethrown on the calling thread. The pool fully recovers: the
+    /// next region starts from a clean slate even when the caller's share
+    /// and a worker panicked in the same region.
     pub fn region<F>(&self, threads: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -173,6 +175,10 @@ impl ThreadPool {
         {
             let mut slot = self.shared.slot.lock();
             debug_assert!(slot.job.is_none(), "overlapping parallel regions");
+            // A previous region that rethrew the *caller's* panic leaves
+            // any worker payload behind; clear it so this region cannot
+            // spuriously rethrow a stale panic.
+            *self.shared.panic.lock() = None;
             slot.epoch += 1;
             slot.job = Some(job);
             slot.participants = threads;
@@ -182,12 +188,17 @@ impl ThreadPool {
             self.shared.work_cv.notify_all();
         }
 
+        let _watchdog = crate::watchdog::region_watchdog();
         THREAD_ID.with(|t| t.set(0));
         IN_REGION.with(|r| r.set(true));
         // The caller's share runs under catch_unwind so a panicking
         // operator cannot leave the workers running against a dead `f`.
-        let caller_result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if substrate::fault::point("pool.worker") {
+                panic!("injected fault: pool.worker (participant 0)");
+            }
+            f(0)
+        }));
         IN_REGION.with(|r| r.set(false));
         THREAD_ID.with(|t| t.set(usize::MAX));
 
@@ -247,8 +258,12 @@ fn worker_loop(tid: usize, shared: Arc<Shared>) {
         IN_REGION.with(|r| r.set(true));
         // SAFETY: `region` keeps the closure alive until `remaining` drops
         // to zero, which happens strictly after this call returns.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(tid) }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if substrate::fault::point("pool.worker") {
+                panic!("injected fault: pool.worker (participant {tid})");
+            }
+            unsafe { (*job.0)(tid) }
+        }));
         IN_REGION.with(|r| r.set(false));
         THREAD_ID.with(|t| t.set(usize::MAX));
         if let Err(payload) = result {
@@ -417,6 +432,31 @@ mod tests {
         assert!(caught.is_err());
         assert_eq!(others.load(Ordering::Relaxed), 3, "workers completed");
     }
+
+    #[test]
+    fn double_panic_region_leaves_no_stale_payload() {
+        // Caller AND worker panic in the same region: the caller's payload
+        // wins the rethrow, and the worker's captured payload must not
+        // leak into the next region.
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.region(2, |_| panic!("everyone fails"));
+        }));
+        assert!(caught.is_err());
+        let clean = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let ok = AtomicU64::new(0);
+            pool.region(2, |_| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+            ok.into_inner()
+        }));
+        assert_eq!(clean.expect("no stale panic rethrown"), 2);
+    }
+
+    // Injected `pool.worker` faults are exercised by the serialized
+    // chaos suite (`tests/chaos.rs`): a fault plan is process-global, so
+    // installing one here would race with the other tests in this binary
+    // that share the global pool.
 
     #[test]
     fn global_thread_setting_round_trips() {

@@ -1,0 +1,150 @@
+//! Wall-clock watchdog for parallel work.
+//!
+//! A [`Watchdog`] is armed with a timeout and a callback; if the guarded
+//! work does not [`disarm`](Watchdog::disarm) (or drop) it in time, the
+//! callback runs once on a monitor thread. The watchdog *observes* — it
+//! cannot cancel the stuck work (there is no safe way to kill a thread
+//! mid-operator) — so its job is diagnosis: naming the wedged region
+//! before an outer supervisor (the study runner's `STUDY_CELL_TIMEOUT_MS`
+//! isolation, a CI job timeout) gives up on the whole process.
+//!
+//! [`ThreadPool::region`](crate::ThreadPool::region) arms one per region
+//! when `GALOIS_REGION_TIMEOUT_MS` is set; the default is off, costing a
+//! single relaxed atomic load per region.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An armed wall-clock monitor; see [`arm`].
+pub struct Watchdog {
+    stop: Option<mpsc::Sender<()>>,
+    fired: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Arms a watchdog: unless the returned guard is disarmed or dropped
+/// within `timeout`, `on_timeout(label)` runs once on a monitor thread.
+pub fn arm(
+    label: &str,
+    timeout: Duration,
+    on_timeout: impl FnOnce(&str) + Send + 'static,
+) -> Watchdog {
+    let (stop, rx) = mpsc::channel::<()>();
+    let fired = Arc::new(AtomicBool::new(false));
+    let fired_flag = Arc::clone(&fired);
+    let label = label.to_string();
+    let handle = std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            // A send or a hangup both mean "disarmed in time".
+            if let Err(mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(timeout) {
+                fired_flag.store(true, Ordering::Release);
+                on_timeout(&label);
+            }
+        })
+        .expect("failed to spawn watchdog thread");
+    Watchdog {
+        stop: Some(stop),
+        fired,
+        handle: Some(handle),
+    }
+}
+
+impl Watchdog {
+    /// Whether the timeout elapsed before the watchdog was disarmed.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+
+    /// Stops the monitor and reports whether it had already fired.
+    pub fn disarm(mut self) -> bool {
+        self.shutdown();
+        self.fired()
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// `u64::MAX` = not yet resolved from the environment, `0` = disabled.
+static REGION_TIMEOUT_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The per-region diagnostic timeout from `GALOIS_REGION_TIMEOUT_MS`
+/// (milliseconds; unset, empty or `0` disables), resolved once.
+///
+/// # Panics
+///
+/// Panics when the variable is set to a non-integer.
+pub fn region_timeout() -> Option<Duration> {
+    match REGION_TIMEOUT_MS.load(Ordering::Relaxed) {
+        u64::MAX => {
+            let ms = match std::env::var("GALOIS_REGION_TIMEOUT_MS") {
+                Ok(v) if !v.trim().is_empty() => v.trim().parse().unwrap_or_else(|e| {
+                    panic!("GALOIS_REGION_TIMEOUT_MS must be milliseconds, got {v:?}: {e}")
+                }),
+                _ => 0,
+            };
+            REGION_TIMEOUT_MS.store(ms.min(u64::MAX - 1), Ordering::Relaxed);
+            (ms > 0).then(|| Duration::from_millis(ms))
+        }
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
+}
+
+/// Arms the env-gated per-region watchdog (a stderr diagnostic naming
+/// the wedged region), or returns `None` when the gate is off.
+pub(crate) fn region_watchdog() -> Option<Watchdog> {
+    let timeout = region_timeout()?;
+    Some(arm("pool.region", timeout, move |label| {
+        eprintln!(
+            "watchdog: {label} still running after {} ms (GALOIS_REGION_TIMEOUT_MS)",
+            timeout.as_millis()
+        );
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarm_in_time_does_not_fire() {
+        let dog = arm("test.fast", Duration::from_secs(30), |_| {
+            panic!("must not fire");
+        });
+        assert!(!dog.disarm());
+    }
+
+    #[test]
+    fn drop_disarms() {
+        let dog = arm("test.drop", Duration::from_secs(30), |_| {
+            panic!("must not fire");
+        });
+        drop(dog);
+    }
+
+    #[test]
+    fn timeout_fires_once_with_the_label() {
+        let (tx, rx) = mpsc::channel();
+        let dog = arm("test.slow", Duration::from_millis(10), move |label| {
+            tx.send(label.to_string()).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "test.slow");
+        assert!(dog.disarm(), "firing is observable through the guard");
+    }
+}

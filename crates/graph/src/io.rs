@@ -153,75 +153,86 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphErro
     let pattern = header[3] == "pattern";
     let symmetric = header[4] == "symmetric";
 
-    let mut dims: Option<(usize, usize, usize)> = None;
-    let mut b: Option<GraphBuilder> = None;
+    // (declared rows, declared nnz, builder, entries seen so far) — one
+    // state carries everything so an entry line can never observe a
+    // missing builder.
+    let mut state: Option<(usize, usize, GraphBuilder, usize)> = None;
+    let mut last_line = first_no;
     for (idx, line) in lines {
         let line = line?;
         let lineno = idx + 1;
+        last_line = lineno;
         let line = line.trim();
         if line.is_empty() || line.starts_with('%') {
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        match dims {
-            None => {
-                if toks.len() != 3 {
-                    return Err(malformed(lineno, "expected 'rows cols nnz'"));
-                }
-                let rows: usize = toks[0]
-                    .parse()
-                    .map_err(|e| malformed(lineno, format!("bad rows: {e}")))?;
-                let cols: usize = toks[1]
-                    .parse()
-                    .map_err(|e| malformed(lineno, format!("bad cols: {e}")))?;
-                let nnz: usize = toks[2]
-                    .parse()
-                    .map_err(|e| malformed(lineno, format!("bad nnz: {e}")))?;
-                if rows != cols {
-                    return Err(malformed(lineno, "adjacency matrices must be square"));
-                }
-                dims = Some((rows, cols, nnz));
-                b = Some(
-                    GraphBuilder::with_capacity(rows, if symmetric { nnz * 2 } else { nnz })
-                        .weighted(!pattern)
-                        .symmetric(symmetric)
-                        .dedup(symmetric),
-                );
+        let Some((rows, nnz, b, seen)) = state.as_mut() else {
+            if toks.len() != 3 {
+                return Err(malformed(lineno, "expected 'rows cols nnz'"));
             }
-            Some((rows, _, _)) => {
-                if toks.len() < 2 {
-                    return Err(malformed(lineno, "expected 'row col [value]'"));
-                }
-                let r: usize = toks[0]
-                    .parse()
-                    .map_err(|e| malformed(lineno, format!("bad row: {e}")))?;
-                let c: usize = toks[1]
-                    .parse()
-                    .map_err(|e| malformed(lineno, format!("bad col: {e}")))?;
-                if r == 0 || c == 0 || r > rows || c > rows {
-                    return Err(malformed(lineno, "1-based index out of range"));
-                }
-                let w = if pattern {
-                    1
-                } else {
-                    let tok = toks
-                        .get(2)
-                        .ok_or_else(|| malformed(lineno, "missing value"))?;
-                    tok.parse::<f64>()
-                        .map_err(|e| malformed(lineno, format!("bad value: {e}")))?
-                        .abs()
-                        .round()
-                        .max(1.0) as u32
-                };
-                b.as_mut()
-                    .expect("builder initialised with dims")
-                    .push_edge((r - 1) as NodeId, (c - 1) as NodeId, w);
+            let rows: usize = toks[0]
+                .parse()
+                .map_err(|e| malformed(lineno, format!("bad rows: {e}")))?;
+            let cols: usize = toks[1]
+                .parse()
+                .map_err(|e| malformed(lineno, format!("bad cols: {e}")))?;
+            let nnz: usize = toks[2]
+                .parse()
+                .map_err(|e| malformed(lineno, format!("bad nnz: {e}")))?;
+            if rows != cols {
+                return Err(malformed(lineno, "adjacency matrices must be square"));
             }
+            if rows > NodeId::MAX as usize + 1 {
+                return Err(malformed(lineno, "row count exceeds 32-bit id space"));
+            }
+            let builder = GraphBuilder::with_capacity(rows, if symmetric { nnz * 2 } else { nnz })
+                .weighted(!pattern)
+                .symmetric(symmetric)
+                .dedup(symmetric);
+            state = Some((rows, nnz, builder, 0));
+            continue;
+        };
+        if toks.len() < 2 {
+            return Err(malformed(lineno, "expected 'row col [value]'"));
         }
+        if *seen == *nnz {
+            return Err(malformed(
+                lineno,
+                format!("more entries than the declared nnz of {nnz}"),
+            ));
+        }
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|e| malformed(lineno, format!("bad row: {e}")))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|e| malformed(lineno, format!("bad col: {e}")))?;
+        if r == 0 || c == 0 || r > *rows || c > *rows {
+            return Err(malformed(lineno, "1-based index out of range"));
+        }
+        let w = if pattern {
+            1
+        } else {
+            let tok = toks
+                .get(2)
+                .ok_or_else(|| malformed(lineno, "missing value"))?;
+            tok.parse::<f64>()
+                .map_err(|e| malformed(lineno, format!("bad value: {e}")))?
+                .abs()
+                .round()
+                .max(1.0) as u32
+        };
+        b.push_edge((r - 1) as NodeId, (c - 1) as NodeId, w);
+        *seen += 1;
     }
-    match b {
-        Some(b) => Ok(b.build()),
-        None => Err(malformed(1, "missing size line")),
+    match state {
+        Some((_, nnz, b, seen)) if seen == nnz => Ok(b.build()),
+        Some((_, nnz, _, seen)) => Err(malformed(
+            last_line,
+            format!("declared {nnz} entries but file holds {seen}"),
+        )),
+        None => Err(malformed(last_line, "missing size line")),
     }
 }
 
@@ -272,9 +283,17 @@ pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
 
 /// Reads a graph written by [`write_binary`].
 ///
+/// The payload is untrusted: header counts are bounds-checked before
+/// anything is sized from them, the vectors grow incrementally (a
+/// fabricated huge count hits end-of-file instead of a giant
+/// allocation), the CSR invariants are validated explicitly, and
+/// trailing bytes are rejected — so a truncated, oversized or corrupted
+/// cache file yields [`ParseGraphError`], never a panic or abort.
+///
 /// # Errors
 ///
-/// Returns [`ParseGraphError`] on IO failure, bad magic or truncation.
+/// Returns [`ParseGraphError`] on IO failure, bad magic, truncation,
+/// trailing bytes or inconsistent CSR structure.
 pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
@@ -284,26 +303,54 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphError> {
     }
     let mut u64buf = [0u8; 8];
     r.read_exact(&mut u64buf)?;
-    let n = u64::from_le_bytes(u64buf) as usize;
+    let n64 = u64::from_le_bytes(u64buf);
     r.read_exact(&mut u64buf)?;
-    let m = u64::from_le_bytes(u64buf) as usize;
+    let m64 = u64::from_le_bytes(u64buf);
+    if n64 > NodeId::MAX as u64 + 1 {
+        return Err(malformed(1, "node count exceeds 32-bit id space"));
+    }
+    if m64 > usize::MAX as u64 {
+        return Err(malformed(1, "edge count exceeds the address space"));
+    }
+    let n = n64 as usize;
+    let m = m64 as usize;
     let mut flag = [0u8; 1];
     r.read_exact(&mut flag)?;
     let weighted = flag[0] != 0;
 
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
+    // Grow incrementally rather than pre-sizing from the untrusted
+    // header: a fabricated count fails at end-of-file, not in malloc.
+    let mut offsets = Vec::new();
+    for i in 0..=n {
         r.read_exact(&mut u64buf)?;
-        offsets.push(u64::from_le_bytes(u64buf) as usize);
+        let o = u64::from_le_bytes(u64buf);
+        if o > m64 {
+            return Err(malformed(1, format!("offset {o} exceeds edge count {m64}")));
+        }
+        let o = o as usize;
+        if offsets.last().is_some_and(|&prev| o < prev) {
+            return Err(malformed(1, format!("offsets decrease at index {i}")));
+        }
+        offsets.push(o);
+    }
+    if offsets.first() != Some(&0) {
+        return Err(malformed(1, "first offset must be 0"));
+    }
+    if offsets.last() != Some(&m) {
+        return Err(malformed(1, "last offset must equal the edge count"));
     }
     let mut u32buf = [0u8; 4];
-    let mut dests = Vec::with_capacity(m);
+    let mut dests = Vec::new();
     for _ in 0..m {
         r.read_exact(&mut u32buf)?;
-        dests.push(u32::from_le_bytes(u32buf));
+        let d = u32::from_le_bytes(u32buf);
+        if d as u64 >= n64 {
+            return Err(malformed(1, format!("destination {d} exceeds node count {n}")));
+        }
+        dests.push(d);
     }
     let weights = if weighted {
-        let mut ws = Vec::with_capacity(m);
+        let mut ws = Vec::new();
         for _ in 0..m {
             r.read_exact(&mut u32buf)?;
             ws.push(u32::from_le_bytes(u32buf));
@@ -312,6 +359,10 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, ParseGraphError> {
     } else {
         None
     };
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(malformed(1, "trailing bytes after the CSR payload"));
+    }
     Ok(CsrGraph::from_raw(offsets, dests, weights))
 }
 
@@ -391,6 +442,20 @@ mod tests {
     }
 
     #[test]
+    fn matrix_market_rejects_excess_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n2 1\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("more entries"), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_rejects_missing_entries() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 2 entries"), "{err}");
+    }
+
+    #[test]
     fn binary_round_trip_weighted() {
         let g = crate::gen::rmat(8, 8, crate::gen::RmatParams::default(), 3)
             .with_random_weights(1000, 3);
@@ -420,5 +485,46 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_oversized_counts_without_allocating() {
+        // A header claiming u64::MAX nodes/edges must fail cleanly (it
+        // used to feed Vec::with_capacity before reading a single byte).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.push(0);
+        assert!(read_binary(&buf[..]).is_err());
+        // Plausible node count, absurd edge count: dies at EOF.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        buf.push(0);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_csr_structure() {
+        let g = crate::builder::from_edges(3, [(0, 1), (1, 2)]);
+        let mut good = Vec::new();
+        write_binary(&g, &mut good).unwrap();
+        // Trailing garbage.
+        let mut buf = good.clone();
+        buf.push(0xFF);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // Decreasing offsets: offsets live right after the 25-byte header.
+        let mut buf = good.clone();
+        buf[25..33].copy_from_slice(&9u64.to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
+        // Destination id outside the node range: dests follow the 4
+        // offsets (header 25 + 32 = 57).
+        let mut buf = good.clone();
+        buf[57..61].copy_from_slice(&7u32.to_le_bytes());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(err.to_string().contains("destination"), "{err}");
     }
 }

@@ -186,3 +186,72 @@ fn random_weights_cover_range() {
         },
     );
 }
+
+/// Mutated parser input: either raw random bytes or a valid serialized
+/// graph with byte flips, truncation or appended garbage — the shapes a
+/// corrupted download or cache file actually takes.
+fn arb_parser_input(g: &mut Gen) -> Vec<u8> {
+    let mut bytes = match g.gen_range(0u32..4) {
+        0 => g.vec(0..256, |g| g.gen_range(0u32..256) as u8),
+        1 => {
+            let graph = arb_graph(g);
+            let mut buf = Vec::new();
+            graph::io::write_binary(&graph, &mut buf).unwrap();
+            buf
+        }
+        2 => {
+            let graph = arb_graph(g);
+            let mut buf = Vec::new();
+            graph::io::write_edge_list(&graph, &mut buf).unwrap();
+            buf
+        }
+        _ => {
+            let n = g.gen_range(1usize..20);
+            let nnz = g.gen_range(0usize..40);
+            let mut buf =
+                format!("%%MatrixMarket matrix coordinate integer general\n{n} {n} {nnz}\n");
+            for _ in 0..nnz {
+                let r = g.gen_range(0usize..25);
+                let c = g.gen_range(0usize..25);
+                let w = g.gen_range(0u32..100);
+                buf.push_str(&format!("{r} {c} {w}\n"));
+            }
+            buf.into_bytes()
+        }
+    };
+    // Corrupt: flip bytes, truncate, extend.
+    for _ in 0..g.gen_range(0usize..8) {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = g.gen_range(0usize..bytes.len());
+        bytes[at] = g.gen_range(0u32..256) as u8;
+    }
+    if g.gen_bool(0.3) && !bytes.is_empty() {
+        bytes.truncate(g.gen_range(0usize..bytes.len()));
+    }
+    if g.gen_bool(0.3) {
+        let extra = g.vec(1..32, |g| g.gen_range(0u32..256) as u8);
+        bytes.extend(extra);
+    }
+    bytes
+}
+
+#[test]
+fn parsers_never_panic_on_arbitrary_bytes() {
+    // The robustness contract of every loader: any byte stream yields
+    // error-or-graph, never a panic or abort. The harness counts a panic
+    // inside the property as a failure, so calling the parsers is the
+    // whole assertion.
+    prop::check(
+        "parsers_never_panic_on_arbitrary_bytes",
+        prop::cases(CASES * 4),
+        arb_parser_input,
+        |bytes| {
+            let _ = graph::io::read_edge_list(&bytes[..], None);
+            let _ = graph::io::read_matrix_market(&bytes[..]);
+            let _ = graph::io::read_binary(&bytes[..]);
+            Ok(())
+        },
+    );
+}

@@ -22,6 +22,16 @@ pub enum GrbError {
     /// The operation requires a mask (e.g. unmasked dot-product SpGEMM on
     /// a huge output would be quadratic).
     MaskRequired(&'static str),
+    /// The operation could not obtain the memory it needs
+    /// (`GrB_OUT_OF_MEMORY`): no kernel's projected accumulator fits the
+    /// active [`mem_budget`](crate::ops::mem_budget), or an injected
+    /// `grb.alloc.accumulator` fault fired (reported with `budget: 0`).
+    ResourceExhausted {
+        /// Bytes the least-materializing viable kernel would need.
+        required: u64,
+        /// The budget those bytes exceeded.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for GrbError {
@@ -35,6 +45,10 @@ impl std::fmt::Display for GrbError {
             }
             GrbError::DuplicateIndex(i) => write!(f, "duplicate index {i}"),
             GrbError::MaskRequired(op) => write!(f, "{op} requires a mask"),
+            GrbError::ResourceExhausted { required, budget } => write!(
+                f,
+                "out of memory: accumulator needs {required} bytes, budget is {budget}"
+            ),
         }
     }
 }
@@ -61,5 +75,11 @@ mod tests {
         assert!(e.to_string().contains("expected u.size == 4"));
         assert!(GrbError::DuplicateIndex(3).to_string().contains('3'));
         assert!(GrbError::MaskRequired("mxm(dot)").to_string().contains("mxm"));
+        let e = GrbError::ResourceExhausted {
+            required: 4096,
+            budget: 1024,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("1024"));
     }
 }

@@ -27,6 +27,7 @@
 
 use crate::binops::SemiringOps;
 use crate::descriptor::{Descriptor, KernelHint};
+use crate::error::GrbError;
 use crate::matrix::Matrix;
 use crate::runtime::Runtime;
 use crate::scalar::Scalar;
@@ -34,7 +35,7 @@ use crate::util::AtomicAccumulator;
 use crate::vector::Vector;
 use galois_rt::substrate::PerThread;
 use perfmon::trace::KernelChoice;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Process-wide SpMV strategy policy (the `STUDY_KERNEL` axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +99,53 @@ pub fn kernel_mode() -> KernelMode {
 /// `STUDY_KERNEL`; per-call [`Descriptor`] hints still win).
 pub fn set_kernel_mode(mode: KernelMode) {
     MODE.store(encode(mode), Ordering::Relaxed);
+}
+
+/// `u64::MAX` = not yet resolved from the environment,
+/// `u64::MAX - 1` = unlimited.
+static BUDGET: AtomicU64 = AtomicU64::new(u64::MAX);
+const BUDGET_UNRESOLVED: u64 = u64::MAX;
+const BUDGET_UNLIMITED: u64 = u64::MAX - 1;
+
+/// Returns the process-wide accumulator byte budget, resolving it from
+/// the `STUDY_MEM_BUDGET` environment variable (a byte count) on first
+/// use. `None` means unlimited — selection runs exactly the pre-budget
+/// logic at the cost of one relaxed atomic load.
+///
+/// The budget bounds each op's *projected* accumulator footprint (see
+/// `projected_bytes`): when the preferred kernel would exceed it,
+/// `auto` degrades to the least-materializing kernel that fits, and when
+/// none fits the op returns [`GrbError::ResourceExhausted`] — the
+/// paper's materialization limitation enforced as an invariant.
+///
+/// # Panics
+///
+/// Panics when `STUDY_MEM_BUDGET` is set to a non-integer.
+pub fn mem_budget() -> Option<u64> {
+    match BUDGET.load(Ordering::Relaxed) {
+        BUDGET_UNRESOLVED => {
+            let budget = match std::env::var("STUDY_MEM_BUDGET") {
+                Ok(v) if !v.trim().is_empty() => Some(v.trim().parse().unwrap_or_else(|e| {
+                    panic!("STUDY_MEM_BUDGET must be a byte count, got {v:?}: {e}")
+                })),
+                _ => None,
+            };
+            set_mem_budget(budget);
+            budget
+        }
+        BUDGET_UNLIMITED => None,
+        b => Some(b),
+    }
+}
+
+/// Overrides the process-wide accumulator byte budget (takes precedence
+/// over `STUDY_MEM_BUDGET`); `None` removes any limit. Budgets at or
+/// above `u64::MAX - 1` are treated as unlimited.
+pub fn set_mem_budget(budget: Option<u64>) {
+    BUDGET.store(
+        budget.unwrap_or(BUDGET_UNLIMITED).min(BUDGET_UNLIMITED),
+        Ordering::Relaxed,
+    );
 }
 
 /// The outcome of kernel selection for one call: the kernel to run plus
@@ -220,49 +268,175 @@ pub(crate) fn pick_kernel(
     }
 }
 
+/// Worst-case accumulator bytes `choice` would materialize on these
+/// operands — the quantity [`mem_budget`] is enforced against.
+/// `paper_pull` marks `mxv`, whose pull kernel materializes dense value
+/// and presence buffers over the output dimension rather than emitted
+/// pairs.
+pub(crate) fn projected_bytes(
+    choice: KernelChoice,
+    frontier_degree: u64,
+    out_dim: u64,
+    admitted: u64,
+    pair_bytes: u64,
+    val_bytes: u64,
+    paper_pull: bool,
+) -> u64 {
+    match choice {
+        KernelChoice::PushDense => out_dim.saturating_mul(val_bytes),
+        KernelChoice::PushSparse => frontier_degree.saturating_mul(pair_bytes),
+        KernelChoice::Pull => {
+            if paper_pull {
+                out_dim.saturating_mul(val_bytes.saturating_add(1))
+            } else {
+                admitted.saturating_mul(pair_bytes)
+            }
+        }
+        KernelChoice::Unspecified => 0,
+    }
+}
+
+/// Applies the byte budget to a preliminary choice. The preferred kernel
+/// stands when its projection fits. A `forced` choice (descriptor hint or
+/// non-auto mode) that does not fit errors immediately — the caller asked
+/// for that kernel specifically. Under `auto`, the least-materializing
+/// kernel that fits is substituted; when none fits the op reports the
+/// cheapest kernel's requirement.
+#[allow(clippy::too_many_arguments)]
+fn fit_to_budget(
+    preferred: KernelChoice,
+    limit: u64,
+    frontier_degree: u64,
+    out_dim: u64,
+    admitted: u64,
+    pair_bytes: u64,
+    val_bytes: u64,
+    paper_pull: bool,
+    forced: bool,
+) -> Result<KernelChoice, GrbError> {
+    let proj = |c| {
+        projected_bytes(
+            c,
+            frontier_degree,
+            out_dim,
+            admitted,
+            pair_bytes,
+            val_bytes,
+            paper_pull,
+        )
+    };
+    if proj(preferred) <= limit {
+        return Ok(preferred);
+    }
+    if forced {
+        return Err(GrbError::ResourceExhausted {
+            required: proj(preferred),
+            budget: limit,
+        });
+    }
+    let cheapest = [
+        KernelChoice::PushSparse,
+        KernelChoice::Pull,
+        KernelChoice::PushDense,
+    ]
+    .into_iter()
+    .min_by_key(|&c| proj(c))
+    .expect("candidate list is non-empty");
+    if proj(cheapest) <= limit {
+        Ok(cheapest)
+    } else {
+        Err(GrbError::ResourceExhausted {
+            required: proj(cheapest),
+            budget: limit,
+        })
+    }
+}
+
 /// Selects the kernel for `w<mask> = uᵀA` and reports the heuristic
 /// inputs it used.
+///
+/// # Errors
+///
+/// Returns [`GrbError::ResourceExhausted`] when a [`mem_budget`] is
+/// active and no viable kernel's projected accumulator fits it.
 pub(crate) fn select_vxm<T: Scalar, M: Scalar>(
     u: &Vector<T>,
     a: &Matrix<T>,
     mask: Option<&Vector<M>>,
     desc: &Descriptor,
-) -> Selection {
-    if let Some(choice) = forced_choice(desc, true) {
-        return Selection::forced(choice);
+) -> Result<Selection, GrbError> {
+    let budget = mem_budget();
+    let forced = forced_choice(desc, true);
+    if budget.is_none() {
+        // Zero-overhead path: forced choices skip the operand scans.
+        if let Some(choice) = forced {
+            return Ok(Selection::forced(choice));
+        }
     }
     let out_dim = a.ncols();
     let frontier_degree: u64 = u.iter().map(|(i, _)| a.row_nvals(i) as u64).sum();
     let matrix_nnz = a.nvals() as u64;
     let mask_admitted = admitted_outputs(mask, desc, out_dim);
-    let choice = pick_kernel(
-        frontier_degree,
-        matrix_nnz,
-        out_dim as u64,
-        mask_admitted,
-        std::mem::size_of::<(u32, T)>() as u64,
-        std::mem::size_of::<T>() as u64,
-        false,
-    );
-    Selection {
+    let pair_bytes = std::mem::size_of::<(u32, T)>() as u64;
+    let val_bytes = std::mem::size_of::<T>() as u64;
+    let preferred = forced.unwrap_or_else(|| {
+        pick_kernel(
+            frontier_degree,
+            matrix_nnz,
+            out_dim as u64,
+            mask_admitted,
+            pair_bytes,
+            val_bytes,
+            false,
+        )
+    });
+    let choice = match budget {
+        None => preferred,
+        Some(limit) => fit_to_budget(
+            preferred,
+            limit,
+            frontier_degree,
+            out_dim as u64,
+            mask_admitted,
+            pair_bytes,
+            val_bytes,
+            false,
+            forced.is_some(),
+        )?,
+    };
+    if forced.is_some() {
+        // Forced selections keep their zero-input trace shape even when
+        // the budget made us scan the operands to project bytes.
+        return Ok(Selection::forced(choice));
+    }
+    Ok(Selection {
         choice,
         frontier_degree,
         matrix_nnz,
         mask_admitted,
-    }
+    })
 }
 
 /// Selects the kernel for `w<mask> = A·u`. The frontier degree sum is
 /// estimated as `u.nvals() * avg_degree` (exact per-column degrees would
 /// require the transpose the push kernels are trying to avoid building).
+///
+/// # Errors
+///
+/// Returns [`GrbError::ResourceExhausted`] when a [`mem_budget`] is
+/// active and no viable kernel's projected accumulator fits it.
 pub(crate) fn select_mxv<T: Scalar, M: Scalar>(
     u: &Vector<T>,
     a: &Matrix<T>,
     mask: Option<&Vector<M>>,
     desc: &Descriptor,
-) -> Selection {
-    if let Some(choice) = forced_choice(desc, false) {
-        return Selection::forced(choice);
+) -> Result<Selection, GrbError> {
+    let budget = mem_budget();
+    let forced = forced_choice(desc, false);
+    if budget.is_none() {
+        if let Some(choice) = forced {
+            return Ok(Selection::forced(choice));
+        }
     }
     let out_dim = a.nrows();
     let matrix_nnz = a.nvals() as u64;
@@ -272,44 +446,75 @@ pub(crate) fn select_mxv<T: Scalar, M: Scalar>(
         (u.nvals() as u64).saturating_mul(matrix_nnz) / a.ncols() as u64
     };
     let mask_admitted = admitted_outputs(mask, desc, out_dim);
-    let choice = pick_kernel(
-        frontier_degree,
-        matrix_nnz,
-        out_dim as u64,
-        mask_admitted,
-        std::mem::size_of::<(u32, T)>() as u64,
-        std::mem::size_of::<T>() as u64,
-        true,
-    );
-    Selection {
+    let pair_bytes = std::mem::size_of::<(u32, T)>() as u64;
+    let val_bytes = std::mem::size_of::<T>() as u64;
+    let preferred = forced.unwrap_or_else(|| {
+        pick_kernel(
+            frontier_degree,
+            matrix_nnz,
+            out_dim as u64,
+            mask_admitted,
+            pair_bytes,
+            val_bytes,
+            true,
+        )
+    });
+    let choice = match budget {
+        None => preferred,
+        Some(limit) => fit_to_budget(
+            preferred,
+            limit,
+            frontier_degree,
+            out_dim as u64,
+            mask_admitted,
+            pair_bytes,
+            val_bytes,
+            true,
+            forced.is_some(),
+        )?,
+    };
+    if forced.is_some() {
+        return Ok(Selection::forced(choice));
+    }
+    Ok(Selection {
         choice,
         frontier_degree,
         matrix_nnz,
         mask_admitted,
-    }
+    })
 }
 
-/// The kernel `vxm` would run for these operands (hint > mode >
+/// The kernel `vxm` would run for these operands (hint > mode > budget >
 /// heuristic). Exposed so tests can assert that `auto` delegates to the
 /// kernel the cost model names.
+///
+/// # Errors
+///
+/// Returns [`GrbError::ResourceExhausted`] exactly when the
+/// corresponding `vxm` call would.
 pub fn vxm_kernel_choice<T: Scalar, M: Scalar>(
     u: &Vector<T>,
     a: &Matrix<T>,
     mask: Option<&Vector<M>>,
     desc: &Descriptor,
-) -> KernelChoice {
-    select_vxm(u, a, mask, desc).choice
+) -> Result<KernelChoice, GrbError> {
+    Ok(select_vxm(u, a, mask, desc)?.choice)
 }
 
-/// The kernel `mxv` would run for these operands (hint > mode >
+/// The kernel `mxv` would run for these operands (hint > mode > budget >
 /// heuristic).
+///
+/// # Errors
+///
+/// Returns [`GrbError::ResourceExhausted`] exactly when the
+/// corresponding `mxv` call would.
 pub fn mxv_kernel_choice<T: Scalar, M: Scalar>(
     u: &Vector<T>,
     a: &Matrix<T>,
     mask: Option<&Vector<M>>,
     desc: &Descriptor,
-) -> KernelChoice {
-    select_mxv(u, a, mask, desc).choice
+) -> Result<KernelChoice, GrbError> {
+    Ok(select_mxv(u, a, mask, desc)?.choice)
 }
 
 /// SAXPY scatter of `entries` through the rows of `a` into per-thread
@@ -587,6 +792,116 @@ mod tests {
         // its own paper baseline.
         assert_eq!(pick_kernel(0, 0, 0, 0, 16, 8, false), KernelChoice::PushDense);
         assert_eq!(pick_kernel(0, 0, 0, 0, 16, 8, true), KernelChoice::Pull);
+    }
+
+    #[test]
+    fn budget_roundtrip_is_behaviour_neutral() {
+        // Use a budget large enough that no projection can exceed it, so
+        // concurrently running selection tests are unaffected.
+        let before = mem_budget();
+        set_mem_budget(Some(u64::MAX - 2));
+        assert_eq!(mem_budget(), Some(u64::MAX - 2));
+        set_mem_budget(Some(u64::MAX));
+        assert_eq!(mem_budget(), None, "near-MAX budgets clamp to unlimited");
+        set_mem_budget(before);
+        assert_eq!(mem_budget(), before);
+    }
+
+    #[test]
+    fn projections_match_the_kernel_footprints() {
+        use KernelChoice::*;
+        // vxm: dense = out_dim * val, sparse = degree * pair,
+        // pull = admitted * pair.
+        assert_eq!(projected_bytes(PushDense, 8, 100, 50, 16, 8, false), 800);
+        assert_eq!(projected_bytes(PushSparse, 8, 100, 50, 16, 8, false), 128);
+        assert_eq!(projected_bytes(Pull, 8, 100, 50, 16, 8, false), 800);
+        // mxv paper pull: dense vals + presence over out_dim.
+        assert_eq!(projected_bytes(Pull, 8, 100, 50, 16, 8, true), 900);
+    }
+
+    #[test]
+    fn budget_degrades_auto_to_the_cheapest_fit() {
+        // Path-graph shape: degree-1 frontier. Dense (800 B) is the
+        // heuristic pick here, but a 256 B budget admits only the sparse
+        // scatter (16 B).
+        let c = fit_to_budget(
+            KernelChoice::PushDense,
+            256,
+            1,
+            100,
+            100,
+            16,
+            8,
+            false,
+            false,
+        )
+        .unwrap();
+        assert_eq!(c, KernelChoice::PushSparse);
+    }
+
+    #[test]
+    fn budget_errors_when_nothing_fits() {
+        let e = fit_to_budget(
+            KernelChoice::PushDense,
+            4,
+            10,
+            100,
+            100,
+            16,
+            8,
+            false,
+            false,
+        )
+        .unwrap_err();
+        match e {
+            GrbError::ResourceExhausted { required, budget } => {
+                assert_eq!(budget, 4);
+                assert_eq!(required, 160, "reports the cheapest kernel's need");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_rejects_unfitting_forced_choice() {
+        // A forced dense scatter may not silently degrade: the caller
+        // asked for that kernel.
+        let e = fit_to_budget(
+            KernelChoice::PushDense,
+            256,
+            1,
+            100,
+            100,
+            16,
+            8,
+            false,
+            true,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            e,
+            GrbError::ResourceExhausted {
+                required: 800,
+                budget: 256
+            }
+        ));
+    }
+
+    #[test]
+    fn fitting_preferred_choice_stands() {
+        let c = fit_to_budget(
+            KernelChoice::PushDense,
+            800,
+            1,
+            100,
+            100,
+            16,
+            8,
+            false,
+            false,
+        )
+        .unwrap();
+        assert_eq!(c, KernelChoice::PushDense);
     }
 
     #[test]

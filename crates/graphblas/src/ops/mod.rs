@@ -113,7 +113,8 @@ pub use assign::{apply, apply_inplace, assign_scalar};
 pub use ewise::{ewise_add, ewise_mult};
 pub use extract::extract;
 pub use kernels::{
-    kernel_mode, mxv_kernel_choice, set_kernel_mode, vxm_kernel_choice, KernelMode,
+    kernel_mode, mem_budget, mxv_kernel_choice, set_kernel_mode, set_mem_budget,
+    vxm_kernel_choice, KernelMode,
 };
 pub use matrix_ewise::{apply_matrix, ewise_add_matrix, ewise_mult_matrix};
 pub use mxm::mxm;

@@ -33,7 +33,10 @@ use perfmon::trace::KernelChoice;
 /// # Errors
 ///
 /// Returns [`GrbError::DimensionMismatch`] when `u.size != a.nrows`,
-/// `w.size != a.ncols`, or the mask size differs from `w`.
+/// `w.size != a.ncols`, or the mask size differs from `w`;
+/// [`GrbError::ResourceExhausted`] when no kernel's projected
+/// accumulator fits the active [`super::mem_budget`] (or an injected
+/// `grb.alloc.accumulator` fault fires).
 pub fn vxm<T, M, S, R>(
     w: &mut Vector<T>,
     mask: Option<&Vector<M>>,
@@ -80,7 +83,21 @@ where
     // Materialize the input entries so the parallel loop can index them.
     let entries: Vec<(u32, T)> = u.entries();
     let input_nnz = entries.len();
-    let selection = kernels::select_vxm(u, a, mask, desc);
+    let selection = kernels::select_vxm(u, a, mask, desc)?;
+    if substrate::fault::point("grb.alloc.accumulator") {
+        return Err(GrbError::ResourceExhausted {
+            required: kernels::projected_bytes(
+                selection.choice,
+                selection.frontier_degree,
+                a.ncols() as u64,
+                selection.mask_admitted,
+                std::mem::size_of::<(u32, T)>() as u64,
+                std::mem::size_of::<T>() as u64,
+                false,
+            ),
+            budget: 0,
+        });
+    }
     let mul = |x, av| semiring.mul(x, av);
     let accumulator_bytes = match selection.choice {
         KernelChoice::PushSparse => {
@@ -144,7 +161,9 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`GrbError::DimensionMismatch`] on non-conforming sizes.
+/// Returns [`GrbError::DimensionMismatch`] on non-conforming sizes;
+/// [`GrbError::ResourceExhausted`] under an exceeded [`super::mem_budget`]
+/// or an injected `grb.alloc.accumulator` fault.
 pub fn mxv<T, M, S, R>(
     w: &mut Vector<T>,
     mask: Option<&Vector<M>>,
@@ -190,7 +209,21 @@ where
     let input_nnz = u.nvals();
 
     let n = a.nrows();
-    let selection = kernels::select_mxv(u, a, mask, desc);
+    let selection = kernels::select_mxv(u, a, mask, desc)?;
+    if substrate::fault::point("grb.alloc.accumulator") {
+        return Err(GrbError::ResourceExhausted {
+            required: kernels::projected_bytes(
+                selection.choice,
+                selection.frontier_degree,
+                n as u64,
+                selection.mask_admitted,
+                std::mem::size_of::<(u32, T)>() as u64,
+                std::mem::size_of::<T>() as u64,
+                true,
+            ),
+            budget: 0,
+        });
+    }
     let accumulator_bytes = match selection.choice {
         KernelChoice::PushSparse => {
             // Scatter the entries of `u` through the columns of `A`

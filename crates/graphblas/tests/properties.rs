@@ -235,7 +235,7 @@ fn assert_spmv_kernels_agree<S: SemiringOps<u64>>(
         prop_assert_eq!(run_vxm(hint), base.clone(), "{} vxm {:?}", name, hint);
     }
     prop_assert_eq!(run_vxm(KernelHint::Auto), base.clone(), "{} vxm auto", name);
-    let delegate = hint_of(ops::vxm_kernel_choice(u, a, m, &desc));
+    let delegate = hint_of(ops::vxm_kernel_choice(u, a, m, &desc).unwrap());
     prop_assert_eq!(
         run_vxm(delegate),
         base.clone(),
@@ -254,7 +254,7 @@ fn assert_spmv_kernels_agree<S: SemiringOps<u64>>(
         prop_assert_eq!(run_mxv(hint), base.clone(), "{} mxv {:?}", name, hint);
     }
     prop_assert_eq!(run_mxv(KernelHint::Auto), base.clone(), "{} mxv auto", name);
-    let delegate = hint_of(ops::mxv_kernel_choice(u, a, m, &desc));
+    let delegate = hint_of(ops::mxv_kernel_choice(u, a, m, &desc).unwrap());
     prop_assert_eq!(
         run_mxv(delegate),
         base.clone(),

@@ -61,8 +61,13 @@ pub fn connected_components<R: Runtime>(g: &CsrGraph, rt: R) -> Result<CcResult,
         ops::ewise_add(&mut hooked, Min, &f, &mngp, rt)?;
         // Pass 3 (one bulk pointer-jumping step): f' = hooked[hooked].
         let indices: Vec<u32> = (0..n as u32)
-            .map(|i| hooked.get(i).expect("hooked is dense"))
-            .collect();
+            .map(|i| {
+                hooked.get(i).ok_or(GrbError::IndexOutOfBounds {
+                    index: i as usize,
+                    bound: n,
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut jumped: Vector<u32> = Vector::new(n);
         ops::extract(&mut jumped, &hooked, &indices, rt)?;
         // Pass 4 (convergence): any label changed?
@@ -76,8 +81,13 @@ pub fn connected_components<R: Runtime>(g: &CsrGraph, rt: R) -> Result<CcResult,
     }
 
     let component = (0..n as u32)
-        .map(|i| f.get(i).expect("f is dense"))
-        .collect();
+        .map(|i| {
+            f.get(i).ok_or(GrbError::IndexOutOfBounds {
+                index: i as usize,
+                bound: n,
+            })
+        })
+        .collect::<Result<_, _>>()?;
     Ok(CcResult { component, rounds })
 }
 

@@ -23,7 +23,7 @@
 //! | tc | [`tc::tc_sandia_dot`] | SandiaDot (`tc-gb` / `tc-gb-sort`) |
 //! | tc | [`tc::tc_listing`] | triangle listing on a sorted DAG (`tc-gb-ll`) |
 //!
-//! Extensions beyond the paper's evaluation (documented in DESIGN.md §7):
+//! Extensions beyond the paper's evaluation (documented in DESIGN.md §8):
 //! [`bfs::bfs_push_pull`] (the GraphBLAST direction optimization of the
 //! paper's related work), [`bfs::bfs_parent`] (parent-tree output),
 //! [`bc::betweenness`] (the paper's motivating application),

@@ -18,16 +18,16 @@ pub const DAMPING: f64 = 0.85;
 
 /// Builds the dense reciprocal-out-degree vector (dangling vertices get
 /// an explicit 0 so they contribute nothing).
-fn inv_degree(g: &CsrGraph) -> Vector<f64> {
+fn inv_degree(g: &CsrGraph) -> Result<Vector<f64>, GrbError> {
     let n = g.num_nodes();
     let mut v = Vector::new_dense(n, 0.0);
     for i in 0..n as u32 {
         let d = g.out_degree(i);
         if d > 0 {
-            v.set(i, 1.0 / d as f64).expect("index in range");
+            v.set(i, 1.0 / d as f64)?;
         }
     }
-    v
+    Ok(v)
 }
 
 /// Topology-driven LAGraph pagerank (`pr-gb` in the paper): `iters`
@@ -43,7 +43,7 @@ pub fn pagerank<R: Runtime>(
 ) -> Result<Vec<f64>, GrbError> {
     let n = g.num_nodes();
     let a: Matrix<f64> = Matrix::from_graph(g, |_| 1.0);
-    let inv_deg = inv_degree(g);
+    let inv_deg = inv_degree(g)?;
     // Initialized at (1-d)/n so the fixed-iteration result matches the
     // residual formulation exactly (the paper aligned LAGraph's pr with
     // Lonestar's answer the same way).
@@ -89,7 +89,7 @@ pub fn pagerank_residual<R: Runtime>(
 ) -> Result<Vec<f64>, GrbError> {
     let n = g.num_nodes();
     let a: Matrix<f64> = Matrix::from_graph(g, |_| 1.0);
-    let inv_deg = inv_degree(g);
+    let inv_deg = inv_degree(g)?;
     let mut pr = Vector::new_dense(n, (1.0 - DAMPING) / n as f64);
     let mut residual = pr.clone();
 

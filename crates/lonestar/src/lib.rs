@@ -33,7 +33,7 @@
 //! | sssp | [`sssp::sssp`] with tiling off | `ls-notile` |
 //! | tc | [`tc::tc`] | triangle listing on a degree-sorted graph (`ls`) |
 //!
-//! Extensions beyond the paper's evaluation (documented in DESIGN.md §7):
+//! Extensions beyond the paper's evaluation (documented in DESIGN.md §8):
 //! [`bfs::bfs_direction_optimizing`] (Beamer push/pull),
 //! [`bfs::bfs_parent`] (parent-tree output), [`bc::betweenness`] (the
 //! paper's motivating application), [`kcore::kcore`] (asynchronous

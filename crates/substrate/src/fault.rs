@@ -1,0 +1,461 @@
+//! Deterministic fault injection: named fault points driven by a seeded
+//! plan.
+//!
+//! GraphBLAS is specified as an *error-returning* API (`GrB_Info`,
+//! including `GrB_OUT_OF_MEMORY`), and the study harness sweeps hundreds
+//! of (problem, system, graph) cells per run — so failures must be
+//! injectable, survivable and replayable rather than fatal. This module
+//! is the injection half: code under test declares named *fault points*
+//! ([`point`]) and a *plan* decides which hits of which points fire.
+//!
+//! ```text
+//! STUDY_FAULTS="seed=42;grb.alloc.accumulator:p=0.01;pool.worker:nth=3"
+//! ```
+//!
+//! * `seed=N` — base seed for probability decisions (default 0; may
+//!   appear at most once, conventionally first).
+//! * `name:p=F` — the point fires each hit independently with
+//!   probability `F`, decided by a xoshiro256++ stream derived from
+//!   `(seed, fnv1a(name), hit index)`. The decision depends only on
+//!   those three values, so replays are bit-exact even when hits race
+//!   across threads.
+//! * `name:nth=K` — the point fires on exactly its `K`-th hit
+//!   (1-based), everywhere else stays quiet. This is how a test or CI
+//!   job targets *one* victim cell out of a sweep.
+//!
+//! Fault-point names are dotted paths, coarse-to-fine:
+//! `<layer>.<site>[.<detail>]` — e.g. `grb.alloc.accumulator` (SpMV
+//! accumulator allocation), `pool.worker` (thread-pool participant),
+//! `cell.run` / `cell.hang` (study-runner cell body).
+//!
+//! The caller decides what firing *means* (return
+//! `GrbError::ResourceExhausted`, panic, sleep): this module only
+//! answers "does hit #h of point `name` fire?".
+//!
+//! ## Cost discipline
+//!
+//! Same contract as `perfmon::trace`: with no plan installed, every
+//! [`point`] call is a single relaxed atomic load. All bookkeeping
+//! (hit counters, the firing log) exists only while a plan is active.
+
+use crate::rng::Rng;
+use crate::sync::Mutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How one named point decides whether a hit fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire each hit independently with this probability.
+    Probability(f64),
+    /// Fire on exactly this (1-based) hit.
+    Nth(u64),
+}
+
+/// One `name:trigger` clause of a fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// The fault-point name the clause applies to.
+    pub name: String,
+    /// When the point fires.
+    pub trigger: Trigger,
+}
+
+/// A parsed fault plan: the seed plus the per-point triggers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed for probability decisions.
+    pub seed: u64,
+    /// Per-point triggers (a name may appear once).
+    pub points: Vec<PointSpec>,
+    /// The specification string the plan was parsed from (recorded in
+    /// artifact headers so runs are attributable).
+    pub spec: String,
+}
+
+impl FaultPlan {
+    /// Parses the `STUDY_FAULTS` grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on any malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut seen_seed = false;
+        let mut points: Vec<PointSpec> = Vec::new();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(v) = clause.strip_prefix("seed=") {
+                if seen_seed {
+                    return Err("duplicate seed= clause".to_string());
+                }
+                seed = v
+                    .parse()
+                    .map_err(|e| format!("bad seed {v:?}: {e}"))?;
+                seen_seed = true;
+                continue;
+            }
+            let (name, trigger) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause {clause:?} is not name:trigger or seed=N"))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("clause {clause:?} has an empty point name"));
+            }
+            if points.iter().any(|p| p.name == name) {
+                return Err(format!("point {name:?} appears twice"));
+            }
+            let trigger = match trigger.trim().split_once('=') {
+                Some(("p", v)) => {
+                    let p: f64 = v
+                        .parse()
+                        .map_err(|e| format!("bad probability {v:?} for {name:?}: {e}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability {p} for {name:?} outside [0, 1]"));
+                    }
+                    Trigger::Probability(p)
+                }
+                Some(("nth", v)) => {
+                    let k: u64 = v
+                        .parse()
+                        .map_err(|e| format!("bad hit index {v:?} for {name:?}: {e}"))?;
+                    if k == 0 {
+                        return Err(format!("nth for {name:?} is 1-based; 0 never fires"));
+                    }
+                    Trigger::Nth(k)
+                }
+                _ => {
+                    return Err(format!(
+                        "trigger for {name:?} must be p=<float> or nth=<int>, got {trigger:?}"
+                    ))
+                }
+            };
+            points.push(PointSpec {
+                name: name.to_string(),
+                trigger,
+            });
+        }
+        Ok(FaultPlan {
+            seed,
+            points,
+            spec: spec.to_string(),
+        })
+    }
+}
+
+/// 64-bit FNV-1a over the point name: a stable, dependency-free way to
+/// give every point its own decision stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-point runtime state while a plan is active.
+struct PointState {
+    name: String,
+    trigger: Trigger,
+    hits: u64,
+}
+
+struct ActivePlan {
+    seed: u64,
+    spec: String,
+    points: Vec<PointState>,
+    /// `(point name, 1-based hit index)` of every firing, in order of
+    /// occurrence — what the replay-determinism test compares.
+    firings: Vec<(String, u64)>,
+}
+
+/// 0 = not yet resolved from `STUDY_FAULTS`, 1 = no plan, 2 = plan active.
+static FLAG: AtomicU8 = AtomicU8::new(0);
+const FLAG_UNRESOLVED: u8 = 0;
+const FLAG_OFF: u8 = 1;
+const FLAG_ON: u8 = 2;
+
+static PLAN: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+/// Parses a plan from the `STUDY_FAULTS` environment variable.
+/// Unset (or empty) means no plan.
+///
+/// # Panics
+///
+/// Panics when `STUDY_FAULTS` is set but malformed, with the parse
+/// message — the same contract as `STUDY_KERNEL`.
+pub fn plan_from_env() -> Option<FaultPlan> {
+    match std::env::var("STUDY_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => Some(
+            FaultPlan::parse(&spec)
+                .unwrap_or_else(|e| panic!("malformed STUDY_FAULTS {spec:?}: {e}")),
+        ),
+        _ => None,
+    }
+}
+
+/// Installs `plan` (or removes any active plan with `None`), resetting
+/// every hit counter and the firing log. Tests use this for isolation;
+/// production runs rely on the lazy `STUDY_FAULTS` resolution instead.
+pub fn set_plan(plan: Option<FaultPlan>) {
+    let mut slot = PLAN.lock();
+    match plan {
+        None => {
+            *slot = None;
+            FLAG.store(FLAG_OFF, Ordering::Relaxed);
+        }
+        Some(p) => {
+            *slot = Some(ActivePlan {
+                seed: p.seed,
+                spec: p.spec,
+                points: p
+                    .points
+                    .into_iter()
+                    .map(|s| PointState {
+                        name: s.name,
+                        trigger: s.trigger,
+                        hits: 0,
+                    })
+                    .collect(),
+                firings: Vec::new(),
+            });
+            FLAG.store(FLAG_ON, Ordering::Relaxed);
+        }
+    }
+}
+
+fn resolve_from_env() {
+    // Take the lock first so two racing first calls cannot both install.
+    let slot = PLAN.lock();
+    if FLAG.load(Ordering::Relaxed) != FLAG_UNRESOLVED {
+        return;
+    }
+    drop(slot);
+    set_plan(plan_from_env());
+}
+
+/// Reports whether this hit of the named fault point fires.
+///
+/// The first call resolves `STUDY_FAULTS`; afterwards, with no plan
+/// active, the cost is a single relaxed atomic load. Decisions are a
+/// pure function of `(plan seed, point name, hit index)`, so a fixed
+/// plan yields a bit-exact firing sequence on every run.
+#[inline]
+pub fn point(name: &str) -> bool {
+    match FLAG.load(Ordering::Relaxed) {
+        FLAG_OFF => false,
+        FLAG_ON => decide(name),
+        _ => {
+            resolve_from_env();
+            point(name)
+        }
+    }
+}
+
+#[cold]
+fn decide(name: &str) -> bool {
+    let mut slot = PLAN.lock();
+    let Some(plan) = slot.as_mut() else {
+        return false;
+    };
+    let seed = plan.seed;
+    let Some(state) = plan.points.iter_mut().find(|p| p.name == name) else {
+        return false;
+    };
+    state.hits += 1;
+    let hit = state.hits;
+    let fires = match state.trigger {
+        Trigger::Nth(k) => hit == k,
+        Trigger::Probability(p) => {
+            // Derive a fresh stream per (seed, name, hit): the decision
+            // cannot depend on call interleaving across threads.
+            let mut rng = Rng::seed_from_u64(
+                seed ^ fnv1a(name) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            rng.gen_bool(p)
+        }
+    };
+    if fires {
+        plan.firings.push((name.to_string(), hit));
+    }
+    fires
+}
+
+/// The `(point, hit)` pairs that fired since the plan was installed, in
+/// order of occurrence. Empty when no plan is active.
+pub fn firing_log() -> Vec<(String, u64)> {
+    PLAN.lock()
+        .as_ref()
+        .map(|p| p.firings.clone())
+        .unwrap_or_default()
+}
+
+/// The active plan's specification string (for artifact headers), or
+/// `None` when fault injection is off. Resolves `STUDY_FAULTS` on first
+/// use like [`point`].
+pub fn plan_spec() -> Option<String> {
+    if FLAG.load(Ordering::Relaxed) == FLAG_UNRESOLVED {
+        resolve_from_env();
+    }
+    PLAN.lock().as_ref().map(|p| p.spec.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The plan is process-global; serialize the tests that install one.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_plan<T>(spec: &str, f: impl FnOnce() -> T) -> T {
+        let _g = LOCK.lock().unwrap();
+        set_plan(Some(FaultPlan::parse(spec).unwrap()));
+        let out = f();
+        set_plan(None);
+        out
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let p = FaultPlan::parse("seed=42;grb.alloc.accumulator:p=0.25;pool.worker:nth=3")
+            .unwrap();
+        assert_eq!(p.seed, 42);
+        assert_eq!(p.points.len(), 2);
+        assert_eq!(p.points[0].name, "grb.alloc.accumulator");
+        assert_eq!(p.points[0].trigger, Trigger::Probability(0.25));
+        assert_eq!(p.points[1].trigger, Trigger::Nth(3));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("what").is_err());
+        assert!(FaultPlan::parse("a:p=2.0").is_err());
+        assert!(FaultPlan::parse("a:nth=0").is_err());
+        assert!(FaultPlan::parse("a:k=1").is_err());
+        assert!(FaultPlan::parse("seed=1;seed=2").is_err());
+        assert!(FaultPlan::parse("a:p=0.5;a:nth=1").is_err());
+        assert!(FaultPlan::parse(":p=0.5").is_err());
+        assert!(FaultPlan::parse("").unwrap().points.is_empty());
+    }
+
+    #[test]
+    fn no_plan_never_fires() {
+        let _g = LOCK.lock().unwrap();
+        set_plan(None);
+        for _ in 0..100 {
+            assert!(!point("grb.alloc.accumulator"));
+        }
+        assert!(firing_log().is_empty());
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let fired: Vec<bool> = with_plan("pool.worker:nth=3", || {
+            (0..6).map(|_| point("pool.worker")).collect()
+        });
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn unlisted_points_stay_quiet() {
+        with_plan("pool.worker:nth=1", || {
+            assert!(!point("grb.alloc.accumulator"));
+            assert!(point("pool.worker"));
+        });
+    }
+
+    #[test]
+    fn probability_extremes() {
+        with_plan("a:p=1.0;b:p=0.0", || {
+            for _ in 0..20 {
+                assert!(point("a"));
+                assert!(!point("b"));
+            }
+        });
+    }
+
+    #[test]
+    fn probability_firing_sequence_replays_bit_exact() {
+        let run = || {
+            with_plan("seed=7;a:p=0.5;b:p=0.3", || {
+                for _ in 0..200 {
+                    point("a");
+                    point("b");
+                }
+                firing_log()
+            })
+        };
+        let first = run();
+        let second = run();
+        assert!(!first.is_empty(), "p=0.5 over 200 hits must fire");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_give_different_sequences() {
+        let seq = |seed: u64| {
+            with_plan(&format!("seed={seed};a:p=0.5"), || {
+                for _ in 0..64 {
+                    point("a");
+                }
+                firing_log()
+            })
+        };
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn probability_rate_is_roughly_honoured() {
+        let fired = with_plan("seed=11;a:p=0.25", || {
+            (0..4000).filter(|_| point("a")).count()
+        });
+        assert!((800..1200).contains(&fired), "got {fired}/4000 at p=0.25");
+    }
+
+    #[test]
+    fn set_plan_resets_counters() {
+        with_plan("a:nth=1", || {
+            assert!(point("a"));
+            set_plan(Some(FaultPlan::parse("a:nth=1").unwrap()));
+            assert!(point("a"), "reinstall restarts the hit counter");
+        });
+    }
+
+    #[test]
+    fn decisions_ignore_thread_interleaving() {
+        // Fire pattern for hits 1..=64 computed serially...
+        let serial = with_plan("seed=9;a:p=0.5", || {
+            (0..64).map(|_| point("a")).collect::<Vec<bool>>()
+        });
+        // ...must equal the per-hit decisions regardless of which thread
+        // takes which hit (decisions key on the hit index alone).
+        let threaded = with_plan("seed=9;a:p=0.5", || {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        for _ in 0..16 {
+                            point("a");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            firing_log()
+        });
+        let expected: Vec<u64> = serial
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f)
+            .map(|(i, _)| i as u64 + 1)
+            .collect();
+        let mut got: Vec<u64> = threaded.into_iter().map(|(_, h)| h).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`rng`] | `rand` | seedable [`rng::Rng`] (SplitMix64-seeded xoshiro256++) |
 //! | [`prop`] | `proptest` | seeded property tests with bounded shrinking ([`prop::check`]) |
 //! | [`mod@bench`] | `criterion` | wall-clock benchmark harness with a criterion-shaped API |
+//! | [`fault`] | `fail` | deterministic named fault points driven by a seeded `STUDY_FAULTS` plan |
 //!
 //! Owning these layers is a deliberate architectural choice, not just a
 //! build fix: the paper study depends on reproducible measurement, and the
@@ -28,6 +29,7 @@
 
 pub mod bench;
 pub mod deque;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod sync;

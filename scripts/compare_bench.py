@@ -3,15 +3,23 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
-                                        [--expect-schema v1|v2]
+                                        [--expect-schema v1|v2|v3]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v2, "graph-api-study/bench-baseline/v2");
+``--expect-schema`` (default v3, "graph-api-study/bench-baseline/v3");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. Cells are keyed by (problem, system,
 graph). For every cell present in both files the tracing-off ``wall_s``
 is compared; a slowdown beyond the threshold (default 20%) is reported
 as a regression.
+
+v3 cells carry a ``status`` (``ok|failed|timeout|oom``; absent means
+``ok``). A cell that was ok in the baseline but non-ok in the current
+run is a hard ERROR — the resilient runner kept the sweep alive, but the
+cell itself regressed from working to broken. Non-ok current cells skip
+the verification / wall / counter checks (there is nothing to compare);
+a non-ok baseline cell that now completes is reported as a note
+suggesting a re-baseline.
 
 By default regressions only warn (exit 0) — CI wall times on shared
 runners are too noisy for a hard gate — but ``--fail-on-regression``
@@ -26,8 +34,8 @@ those cells' accumulator footprints from creeping back up. A DROP on
 those cells is an accepted improvement and reported as a note.
 
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
-or malformed input or a frontier materialization rise, 2 schema
-mismatch.
+or malformed input or a frontier materialization rise or an ok->non-ok
+status regression, 2 schema mismatch.
 """
 
 import json
@@ -36,8 +44,9 @@ import sys
 SCHEMAS = {
     "v1": "graph-api-study/bench-baseline/v1",
     "v2": "graph-api-study/bench-baseline/v2",
+    "v3": "graph-api-study/bench-baseline/v3",
 }
-DEFAULT_SCHEMA = "v2"
+DEFAULT_SCHEMA = "v3"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -133,6 +142,23 @@ def main(argv):
     for k in sorted(set(base_cells) & set(cur_cells)):
         b, c = base_cells[k], cur_cells[k]
         name = "/".join(k)
+        b_status = b.get("status", "ok")
+        c_status = c.get("status", "ok")
+        if c_status != "ok":
+            if b_status == "ok":
+                errors.append(
+                    f"{name}: was ok in {base_path} but is now "
+                    f"{c_status} ({c.get('error', 'no error recorded')})"
+                )
+            else:
+                notes.append(f"{name}: still {c_status} (baseline: {b_status})")
+            continue
+        if b_status != "ok":
+            notes.append(
+                f"{name}: baseline was {b_status} but now completes; "
+                "re-baseline to lock the recovery in"
+            )
+            continue
         if not c.get("verified", False):
             errors.append(f"{name}: current run is not verified")
         if not comparable:

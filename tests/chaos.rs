@@ -1,0 +1,232 @@
+//! Chaos suite: the resilience tentpole end to end.
+//!
+//! Every test here perturbs process-global state (the fault plan, the
+//! memory budget), so the whole suite serializes on one lock and
+//! restores the environment-derived configuration afterwards — the
+//! final `sweep_survives_env_faults` test is the one CI's chaos matrix
+//! drives through `STUDY_FAULTS` / `STUDY_MEM_BUDGET` /
+//! `STUDY_CELL_TIMEOUT_MS`.
+
+use graph_api_study::galois_rt::ThreadPool;
+use graph_api_study::graphblas::ops;
+use graph_api_study::study_core::cell::{run_cell, CellStatus};
+use graph_api_study::study_core::{verify, PreparedGraph, Problem, ProblemOutput, System};
+use graph_api_study::substrate::fault::{self, FaultPlan};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes the suite and pins down the fault/budget globals for one
+/// test body, restoring the `STUDY_FAULTS` / `STUDY_MEM_BUDGET` view
+/// afterwards so test order cannot matter.
+fn with_chaos_state<T>(plan: Option<&str>, budget: Option<u64>, f: impl FnOnce() -> T) -> T {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::set_plan(plan.map(|spec| FaultPlan::parse(spec).expect("test plan parses")));
+    ops::set_mem_budget(budget);
+    let out = f();
+    fault::set_plan(fault::plan_from_env());
+    ops::set_mem_budget(env_budget());
+    out
+}
+
+/// The budget `STUDY_MEM_BUDGET` configures (mirrors the lazy resolution
+/// in `graphblas::ops::mem_budget`).
+fn env_budget() -> Option<u64> {
+    std::env::var("STUDY_MEM_BUDGET")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(|v| v.trim().parse().expect("STUDY_MEM_BUDGET must be bytes"))
+}
+
+/// One shared small study graph (preparation dominates the suite's cost).
+fn prepared() -> Arc<PreparedGraph> {
+    static GRAPH: OnceLock<Arc<PreparedGraph>> = OnceLock::new();
+    GRAPH
+        .get_or_init(|| {
+            Arc::new(PreparedGraph::study(
+                graph_api_study::graph::StudyGraph::Rmat22,
+                graph_api_study::graph::Scale::custom(1.0 / 128.0),
+            ))
+        })
+        .clone()
+}
+
+/// A 100-vertex path graph: its BFS frontier holds one vertex per round,
+/// so the sparse-push accumulator projection stays tiny while the dense
+/// and pull projections scale with n — the shape that exercises budget
+/// degradation without tripping it.
+fn path_graph() -> Arc<PreparedGraph> {
+    let n = 100u32;
+    let g = graph_api_study::graph::builder::from_edges(
+        n as usize,
+        (0..n - 1).map(|i| (i, i + 1)),
+    )
+    .with_random_weights(1_000_000, 7);
+    Arc::new(PreparedGraph::from_graph("path100".to_string(), g, 0, 3, 1 << 13))
+}
+
+/// Runs the full 18-cell sweep (6 problems x 3 systems, one graph) the
+/// way `baseline` does, returning each cell's outcome projection.
+fn sweep(p: &Arc<PreparedGraph>) -> Vec<(CellStatus, Option<String>, Option<ProblemOutput>)> {
+    let mut out = Vec::new();
+    for problem in Problem::all() {
+        for system in System::all() {
+            let o = run_cell(system, problem, p);
+            out.push((o.status, o.error, o.value));
+        }
+    }
+    out
+}
+
+#[test]
+fn sweep_continues_past_an_injected_cell_failure() {
+    let p = prepared();
+    let clean = with_chaos_state(None, None, || sweep(&p));
+    assert!(
+        clean.iter().all(|(s, _, _)| *s == CellStatus::Ok),
+        "fault-free sweep must be all ok: {:?}",
+        clean.iter().map(|(s, e, _)| (*s, e.clone())).collect::<Vec<_>>()
+    );
+
+    // `cell.run:nth=5` victimizes exactly the fifth cell of the sweep.
+    let faulted = with_chaos_state(Some("cell.run:nth=5"), None, || sweep(&p));
+    assert_eq!(faulted.len(), clean.len(), "sweep must run to completion");
+    for (i, ((fs, fe, fv), (_, _, cv))) in faulted.iter().zip(&clean).enumerate() {
+        if i == 4 {
+            assert_eq!(*fs, CellStatus::Failed, "victim cell is recorded failed");
+            let msg = fe.as_deref().unwrap_or_default();
+            assert!(msg.contains("injected fault: cell.run"), "got {msg:?}");
+            assert!(fv.is_none());
+        } else {
+            assert_eq!(*fs, CellStatus::Ok, "cell {i} must be untouched");
+            assert_eq!(fv, cv, "cell {i} output must match the fault-free run");
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_plan_replays_bit_exact() {
+    let p = prepared();
+    let plan = "seed=7;grb.alloc.accumulator:p=0.1";
+    let run = || {
+        with_chaos_state(Some(plan), None, || {
+            let statuses: Vec<CellStatus> = sweep(&p).into_iter().map(|(s, _, _)| s).collect();
+            (statuses, fault::firing_log())
+        })
+    };
+    let (statuses_a, log_a) = run();
+    let (statuses_b, log_b) = run();
+    assert!(!log_a.is_empty(), "p=0.1 over a full sweep must fire");
+    assert_eq!(log_a, log_b, "same seed must reproduce the firing sequence");
+    assert_eq!(statuses_a, statuses_b, "and therefore the same victims");
+    assert!(
+        statuses_a.contains(&CellStatus::Oom),
+        "an accumulator fault surfaces as oom: {statuses_a:?}"
+    );
+    assert!(
+        statuses_a.contains(&CellStatus::Ok),
+        "the sweep survives past the victims: {statuses_a:?}"
+    );
+}
+
+#[test]
+fn budget_constrained_bfs_degrades_and_still_verifies() {
+    let p = path_graph();
+    // 64 bytes: room for the one-vertex sparse-push accumulator every
+    // round, none for the dense (400 B) or pull (500 B) alternatives.
+    let outcome = with_chaos_state(None, Some(64), || {
+        let shared = Arc::clone(&p);
+        graph_api_study::perfmon::trace::with_trace(move || {
+            run_cell(System::GaloisBlas, Problem::Bfs, &shared)
+        })
+    });
+    let (outcome, trace) = outcome;
+    assert_eq!(outcome.status, CellStatus::Ok, "error: {:?}", outcome.error);
+    let output = outcome.value.expect("ok cell has a value");
+    verify::verify(&p, Problem::Bfs, &output).expect("degraded run still verifies");
+    let s = trace.summary();
+    assert!(s.kernel_push_sparse > 0, "budget must leave sparse push: {s:?}");
+    assert_eq!(s.kernel_push_dense, 0, "dense never fits in 64 B: {s:?}");
+    assert_eq!(s.kernel_pull, 0, "pull never fits in 64 B: {s:?}");
+
+    // A budget nothing fits in is an oom outcome, not an abort.
+    let starved = with_chaos_state(None, Some(0), || {
+        run_cell(System::GaloisBlas, Problem::Bfs, &p)
+    });
+    assert_eq!(starved.status, CellStatus::Oom);
+    assert!(
+        starved.error.as_deref().unwrap_or_default().contains("out of memory"),
+        "got {:?}",
+        starved.error
+    );
+}
+
+#[test]
+fn pool_survives_an_injected_worker_panic() {
+    with_chaos_state(Some("pool.worker:nth=1"), None, || {
+        let pool = ThreadPool::new(2);
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.region(2, |_| {});
+        }));
+        let payload = hit.expect_err("first region hit must rethrow the injected panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault: pool.worker"), "got {msg:?}");
+
+        // The nth=1 trigger is spent; the pool must be fully reusable.
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        pool.region(2, |_| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(counter.into_inner(), 2, "both participants run after recovery");
+    });
+}
+
+/// The CI chaos matrix entry point: whatever `STUDY_FAULTS`,
+/// `STUDY_MEM_BUDGET` and `STUDY_CELL_TIMEOUT_MS` say, a sweep must run
+/// to completion with a coherent outcome per cell, and cells that do
+/// complete must still verify.
+#[test]
+fn sweep_survives_env_faults() {
+    let p = prepared();
+    let outcomes = with_chaos_state(None, None, || {
+        // `with_chaos_state` restored nothing yet — install the
+        // environment's own plan and budget explicitly.
+        fault::set_plan(fault::plan_from_env());
+        ops::set_mem_budget(env_budget());
+        sweep(&p)
+    });
+    assert_eq!(outcomes.len(), Problem::all().len() * System::all().len());
+    let mut cell = 0usize;
+    for problem in Problem::all() {
+        for system in System::all() {
+            let (status, error, value) = &outcomes[cell];
+            cell += 1;
+            match status {
+                CellStatus::Ok => {
+                    assert!(error.is_none(), "{problem}/{system}: ok cell with error");
+                    let out = value.as_ref().expect("ok cell has a value");
+                    verify::verify(&p, problem, out)
+                        .unwrap_or_else(|e| panic!("{problem}/{system}: {e}"));
+                }
+                CellStatus::Failed | CellStatus::Timeout | CellStatus::Oom => {
+                    assert!(
+                        error.is_some(),
+                        "{problem}/{system}: non-ok cell must record its error"
+                    );
+                    assert!(value.is_none());
+                }
+            }
+        }
+    }
+    let fired = fault::firing_log();
+    if fault::plan_spec().is_none() && env_budget().is_none() {
+        assert!(
+            outcomes.iter().all(|(s, _, _)| *s == CellStatus::Ok),
+            "no faults, no budget: the sweep must be all ok"
+        );
+        assert!(fired.is_empty());
+    }
+}
