@@ -27,12 +27,20 @@ use study_core::cell::{cell_timeout_from_env, run_protected, CellOutcome};
 use study_core::{try_run, verify, Json, PreparedGraph, Problem, ProblemOutput, System};
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v3 adds the per-cell
+/// (`compare_bench.py` hard-fails on mismatch). v4 adds `workspace_mode`
+/// to the header and the workspace-recycling counters
+/// (`ws_reused_bytes` / `ws_fresh_bytes` / `flops` / `chunks` /
+/// `alloc_bytes`) to each cell's trace summary; v3 added the per-cell
 /// `status` (`ok|failed|timeout|oom`, with `error` on non-ok cells) and
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v3";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v4";
+
+/// Track allocation churn so each cell's `alloc_bytes` is meaningful —
+/// elsewhere the counters stay zero and traced runs skip the metric.
+#[global_allocator]
+static ALLOC: perfmon::alloc::TrackingAllocator = perfmon::alloc::TrackingAllocator;
 
 /// Graphs used when `STUDY_GRAPHS` is unset: one scale-free, one road,
 /// one web graph — the three topology classes of Table I.
@@ -68,8 +76,20 @@ fn summary_json(s: &perfmon::trace::TraceSummary) -> Json {
     o.push("kernel_push_sparse", s.kernel_push_sparse);
     o.push("kernel_push_dense", s.kernel_push_dense);
     o.push("kernel_pull", s.kernel_pull);
+    o.push("ws_reused_bytes", s.ws_reused_bytes);
+    o.push("ws_fresh_bytes", s.ws_fresh_bytes);
+    o.push("flops", s.flops);
+    o.push("chunks", s.chunks);
+    o.push("alloc_bytes", s.alloc_bytes);
     o.push("dropped", s.dropped);
     o
+}
+
+fn workspace_mode_name() -> &'static str {
+    match graphblas::workspace_mode() {
+        graphblas::WorkspaceMode::On => "on",
+        graphblas::WorkspaceMode::Off => "off",
+    }
 }
 
 fn kernel_mode_name() -> &'static str {
@@ -192,6 +212,7 @@ fn main() {
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
+    doc.push("workspace_mode", workspace_mode_name());
     doc.push(
         "fault_plan",
         substrate::fault::plan_spec().unwrap_or_else(|| "none".to_string()),

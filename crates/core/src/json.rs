@@ -139,8 +139,9 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 /// Serializes a full trace — every op and loop span in completion order —
-/// as the documented dump schema (`graph-api-study/trace/v2`, which adds
-/// the SpMV kernel-selection fields to each op event).
+/// as the documented dump schema (`graph-api-study/trace/v3`, which adds
+/// the workspace-recycling and allocation-churn fields to each op event
+/// on top of v2's SpMV kernel-selection fields).
 pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
     use perfmon::trace::Event;
     let mut events = Vec::new();
@@ -163,6 +164,11 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
                 o.push("frontier_degree", s.frontier_degree);
                 o.push("matrix_nnz", s.matrix_nnz);
                 o.push("mask_admitted", s.mask_admitted);
+                o.push("ws_reused_bytes", s.ws_reused_bytes);
+                o.push("ws_fresh_bytes", s.ws_fresh_bytes);
+                o.push("flops", s.flops);
+                o.push("chunks", s.chunks);
+                o.push("alloc_bytes", s.alloc_bytes);
                 o.push("elapsed_ns", s.elapsed_ns);
             }
             Event::Loop(s) => {
@@ -180,7 +186,7 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
         events.push(o);
     }
     let mut doc = Json::obj();
-    doc.push("schema", "graph-api-study/trace/v2");
+    doc.push("schema", "graph-api-study/trace/v3");
     doc.push("dropped", trace.dropped);
     doc.push("events", events);
     doc
@@ -300,6 +306,11 @@ mod tests {
                     frontier_degree: 9,
                     matrix_nnz: 20,
                     mask_admitted: 4,
+                    ws_reused_bytes: 32,
+                    ws_fresh_bytes: 16,
+                    flops: 12,
+                    chunks: 2,
+                    alloc_bytes: 8,
                     elapsed_ns: 100,
                 }),
                 Event::Loop(LoopSpan {
@@ -316,7 +327,10 @@ mod tests {
             dropped: 0,
         };
         let s = trace_json(&trace).pretty();
-        assert!(s.contains("\"schema\": \"graph-api-study/trace/v2\""));
+        assert!(s.contains("\"schema\": \"graph-api-study/trace/v3\""));
+        assert!(s.contains("\"ws_reused_bytes\": 32"));
+        assert!(s.contains("\"flops\": 12"));
+        assert!(s.contains("\"alloc_bytes\": 8"));
         assert!(s.contains("\"op\": \"vxm\""));
         assert!(s.contains("\"mask\": \"value\""));
         assert!(s.contains("\"kernel\": \"push_sparse\""));

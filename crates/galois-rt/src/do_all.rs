@@ -164,6 +164,124 @@ where
     }
 }
 
+/// Runs `f(i)` for every index in every range of `ranges`, in parallel,
+/// processing each range as one unit of work.
+///
+/// The ranges are the schedule: callers partition their iteration space
+/// into chunks of roughly equal *cost* (e.g. equal flops for SpGEMM rows)
+/// and this executor distributes whole chunks round-robin across threads,
+/// with deque stealing soaking up the residual imbalance. Iterations may
+/// run in any order and on any thread; `f` must be safe to call
+/// concurrently for distinct `i`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let count = AtomicUsize::new(0);
+/// galois_rt::do_all_ranges(&[0..700, 700..990, 990..1000], |_| {
+///     count.fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert_eq!(count.into_inner(), 1000);
+/// ```
+pub fn do_all_ranges<F>(ranges: &[Range<usize>], f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let total: usize = ranges.iter().map(|r| r.end.saturating_sub(r.start)).sum();
+    if total == 0 {
+        return;
+    }
+    let started = trace::enabled().then(Instant::now);
+    let nthreads = threads();
+    if nthreads == 1 || ranges.len() == 1 {
+        for r in ranges {
+            for i in r.clone() {
+                f(i);
+            }
+        }
+        if let Some(started) = started {
+            record_loop(LoopKind::DoAllBalanced, total as u64, 0, 1, 0, 1, started);
+        }
+        return;
+    }
+
+    use substrate::deque::{Steal, Stealer, Worker};
+    let nthreads = nthreads.min(ranges.len());
+    let workers: Vec<Worker<Range<usize>>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
+    // Round-robin seeding: chunk k starts on thread k % nthreads, so with
+    // no stealing the assignment is deterministic and cost-balanced (the
+    // caller already equalized per-chunk cost).
+    for (k, r) in ranges.iter().enumerate() {
+        workers[k % nthreads].push(r.clone());
+    }
+    let stealers: Vec<Stealer<Range<usize>>> = workers.iter().map(Worker::stealer).collect();
+    let workers: Vec<substrate::sync::Mutex<Option<Worker<Range<usize>>>>> = workers
+        .into_iter()
+        .map(|w| substrate::sync::Mutex::new(Some(w)))
+        .collect();
+    let steals = AtomicUsize::new(0);
+
+    global_pool().region(nthreads, |tid| {
+        let local = workers[tid]
+            .lock()
+            .take()
+            .expect("worker deque already claimed");
+        let mut my_steals = 0usize;
+        'drain: loop {
+            let r = match local.pop() {
+                Some(r) => r,
+                None => {
+                    // Own deque dry: sweep the other threads' deques once
+                    // per attempt, retrying while any stealer says Retry.
+                    let mut found = None;
+                    loop {
+                        let mut retry = false;
+                        for (vid, s) in stealers.iter().enumerate() {
+                            if vid == tid {
+                                continue;
+                            }
+                            match s.steal() {
+                                Steal::Success(r) => {
+                                    my_steals += 1;
+                                    found = Some(r);
+                                    break;
+                                }
+                                Steal::Retry => retry = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if found.is_some() || !retry {
+                            break;
+                        }
+                    }
+                    match found {
+                        Some(r) => r,
+                        None => break 'drain,
+                    }
+                }
+            };
+            for i in r {
+                f(i);
+            }
+        }
+        if my_steals > 0 {
+            steals.fetch_add(my_steals, Ordering::Relaxed);
+        }
+    });
+    if let Some(started) = started {
+        record_loop(
+            LoopKind::DoAllBalanced,
+            total as u64,
+            steals.into_inner() as u64,
+            1,
+            0,
+            nthreads as u64,
+            started,
+        );
+    }
+}
+
 /// Runs `f(tid, nthreads)` exactly once on each active thread.
 ///
 /// This is Galois' `on_each`; it is the escape hatch used to initialise
@@ -236,6 +354,34 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // chunk lists really are lists of ranges
+    fn do_all_ranges_covers_every_index_once() {
+        let n = 4096;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        // Deliberately skewed chunks: one huge, many tiny.
+        let mut ranges = vec![0..3000];
+        ranges.extend((3000..n).map(|i| i..i + 1));
+        do_all_ranges(&ranges, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn do_all_ranges_empty_is_noop() {
+        do_all_ranges(&[], |_| panic!("must not run"));
+        do_all_ranges(&[5..5, 9..9], |_| panic!("must not run"));
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a one-chunk list, not a range
+    fn do_all_ranges_single_chunk_runs_serially_in_order() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        do_all_ranges(&[10..20], |i| seen.lock().unwrap().push(i));
+        assert_eq!(*seen.lock().unwrap(), (10..20).collect::<Vec<_>>());
     }
 
     #[test]

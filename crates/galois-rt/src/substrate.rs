@@ -43,6 +43,20 @@ impl<T> PerThread<T> {
         }
     }
 
+    /// Creates per-thread slots seeded from `values` (recycled state from
+    /// an earlier `PerThread`), topping up with `init()` if `values` holds
+    /// fewer than `max_threads()` entries and dropping any surplus.
+    pub fn from_values(values: Vec<T>, init: impl Fn() -> T) -> Self {
+        let mut values = values;
+        values.truncate(max_threads());
+        while values.len() < max_threads() {
+            values.push(init());
+        }
+        PerThread {
+            slots: values.into_iter().map(|v| Slot(UnsafeCell::new(v))).collect(),
+        }
+    }
+
     /// Runs `f` with a mutable reference to the calling thread's slot.
     ///
     /// Must not be re-entered on the same thread (enforced only by
@@ -192,6 +206,18 @@ mod tests {
             *v = 9;
         }
         assert!(s.into_inner().into_iter().all(|v| v == 9));
+    }
+
+    #[test]
+    fn from_values_recycles_then_tops_up() {
+        let n = crate::max_threads();
+        let recycled: PerThread<Vec<u8>> =
+            PerThread::from_values(vec![vec![1, 2, 3]; n + 2], Vec::new);
+        let vals = recycled.into_inner();
+        assert_eq!(vals.len(), n, "surplus values are dropped");
+        assert!(vals.iter().all(|v| v == &[1, 2, 3]));
+        let topped: PerThread<Vec<u8>> = PerThread::from_values(Vec::new(), || vec![9]);
+        assert!(topped.into_inner().into_iter().all(|v| v == [9]));
     }
 
     #[test]

@@ -53,9 +53,11 @@ pub mod runtime;
 pub mod scalar;
 pub(crate) mod util;
 pub mod vector;
+pub mod workspace;
 
 pub use descriptor::{Descriptor, KernelHint, MethodHint};
 pub use ops::KernelMode;
+pub use workspace::{set_workspace_mode, workspace_mode, WorkspaceMode};
 pub use error::GrbError;
 pub use matrix::Matrix;
 pub use runtime::{GaloisRuntime, Runtime, StaticRuntime};

@@ -210,7 +210,17 @@ impl<T: Scalar> Matrix<T> {
     /// stale; any future `&mut self` structural mutator must call
     /// [`invalidate_transpose`](Matrix::invalidate_transpose) first.
     pub fn transpose(&self) -> &Matrix<T> {
-        self.tcache.0.get_or_init(|| Box::new(self.build_transpose()))
+        self.tcache.0.get_or_init(|| {
+            let t = self.build_transpose();
+            // Recorded once, inside the initializer: repeated calls reuse
+            // the cache and must not re-report the build.
+            crate::workspace::note_transpose_build(
+                t.row_ptr.len() * std::mem::size_of::<usize>()
+                    + t.col_idx.len() * std::mem::size_of::<u32>()
+                    + t.vals.len() * std::mem::size_of::<T>(),
+            );
+            Box::new(t)
+        })
     }
 
     /// Drops the cached transpose (requires exclusive access, so no
@@ -275,7 +285,18 @@ impl<T: Scalar> Matrix<T> {
 
     /// Builds a CSR matrix from per-row entry lists (kernel use; rows must
     /// have strictly ascending column indices).
-    pub(crate) fn from_rows(nrows: usize, ncols: usize, rows: Vec<Vec<(u32, T)>>) -> Self {
+    pub(crate) fn from_rows(nrows: usize, ncols: usize, mut rows: Vec<Vec<(u32, T)>>) -> Self {
+        Self::from_rows_drain(nrows, ncols, &mut rows)
+    }
+
+    /// [`from_rows`](Matrix::from_rows), but draining a borrowed buffer so
+    /// the caller can return the row vectors (and their capacities) to the
+    /// workspace pool instead of dropping them.
+    pub(crate) fn from_rows_drain(
+        nrows: usize,
+        ncols: usize,
+        rows: &mut [Vec<(u32, T)>],
+    ) -> Self {
         debug_assert_eq!(rows.len(), nrows);
         let mut row_ptr = vec![0usize; nrows + 1];
         for (i, row) in rows.iter().enumerate() {
@@ -285,8 +306,8 @@ impl<T: Scalar> Matrix<T> {
         let total = row_ptr[nrows];
         let mut col_idx = Vec::with_capacity(total);
         let mut vals = Vec::with_capacity(total);
-        for row in rows {
-            for (c, v) in row {
+        for row in rows.iter_mut() {
+            for (c, v) in row.drain(..) {
                 col_idx.push(c);
                 vals.push(v);
             }

@@ -48,7 +48,15 @@ where
     );
     let input_nnz = mask.map_or(n, Vector::nvals);
     let Some(mask) = mask else {
-        *w = Vector::new_dense(n, value);
+        if crate::workspace::enabled() {
+            // Recycle `w`'s dense store instead of reallocating it.
+            let (mut vals, mut present) = super::kernels::take_or_alloc_dense(w, n);
+            vals.fill(value);
+            present.fill(true);
+            w.set_dense(vals, present);
+        } else {
+            *w = Vector::new_dense(n, value);
+        }
         if let Some(span) = span {
             span.finish(input_nnz, w.nvals(), 0);
         }
@@ -149,8 +157,7 @@ where
     let input_nnz = u.nvals();
     if let Some((uvals, upresent)) = u.dense_parts() {
         let n = u.size();
-        let mut vals = vec![T::ZERO; n];
-        let mut present = vec![false; n];
+        let (mut vals, mut present) = super::kernels::take_or_alloc_dense(w, n);
         {
             let pv = ParSlice::new(&mut vals);
             let pp = ParSlice::new(&mut present);

@@ -45,9 +45,9 @@ where
     let span = super::op_start_plain(super::OpKind::EwiseAdd, R::NAME);
     let input_nnz = u.nvals() + v.nvals();
     if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
-        // Dense ∪ dense: one parallel pass.
-        let mut vals = vec![T::ZERO; n];
-        let mut present = vec![false; n];
+        // Dense ∪ dense: one parallel pass, reusing `w`'s store when
+        // workspace recycling is on.
+        let (mut vals, mut present) = super::kernels::take_or_alloc_dense(w, n);
         {
             let pv = ParSlice::new(&mut vals);
             let pp = ParSlice::new(&mut present);
@@ -145,8 +145,7 @@ where
     let span = super::op_start_plain(super::OpKind::EwiseMult, R::NAME);
     let input_nnz = u.nvals() + v.nvals();
     if let (Some((uv, up)), Some((vv, vp))) = (u.dense_parts(), v.dense_parts()) {
-        let mut vals = vec![T::ZERO; n];
-        let mut present = vec![false; n];
+        let (mut vals, mut present) = super::kernels::take_or_alloc_dense(w, n);
         {
             let pv = ParSlice::new(&mut vals);
             let pp = ParSlice::new(&mut present);

@@ -648,7 +648,7 @@ where
     let udense = u.dense_parts();
     let absorbing = semiring.add_absorbing();
     let lanes: PerThread<Vec<(u32, T)>> = PerThread::new(Vec::new);
-    rt.parallel_for(n, |j| {
+    rt.parallel_for_balanced(n, |j| at.row_nvals(j as u32) as u64 + 1, |j| {
         if let Some(m) = mask {
             perfmon::instr(1);
             let pass = m.mask_at(j as u32, desc.mask_structural) != desc.mask_complement;
@@ -692,25 +692,79 @@ where
 /// installs a fresh store sized by [`crate::vector::dense_preferred`],
 /// merge folds entry-by-entry into the existing store.
 pub(crate) fn store_entries<T: Scalar>(w: &mut Vector<T>, entries: Vec<(u32, T)>, replace: bool) {
+    store_entries_slice(w, &entries, replace);
+}
+
+/// [`store_entries`] over a borrowed slice, so callers holding a pooled
+/// entry buffer can return it to the workspace afterwards.
+pub(crate) fn store_entries_slice<T: Scalar>(w: &mut Vector<T>, entries: &[(u32, T)], replace: bool) {
     if replace {
         let n = w.size();
         if crate::vector::dense_preferred(entries.len(), n) {
-            let mut vals = vec![T::ZERO; n];
-            let mut present = vec![false; n];
-            for &(i, v) in &entries {
+            let (mut vals, mut present) = take_or_alloc_dense(w, n);
+            for &(i, v) in entries {
                 vals[i as usize] = v;
                 present[i as usize] = true;
             }
             w.set_dense(vals, present);
         } else {
-            let (idx, vals) = entries.into_iter().unzip();
+            let mut idx = Vec::with_capacity(entries.len());
+            let mut vals = Vec::with_capacity(entries.len());
+            for &(i, v) in entries {
+                idx.push(i);
+                vals.push(v);
+            }
             w.set_sparse(idx, vals);
         }
     } else {
-        for (i, v) in entries {
+        for &(i, v) in entries {
             perfmon::instr(1);
             w.set(i, v).expect("kernel indices in range");
         }
+    }
+}
+
+/// Dense value + presence buffers over `n` outputs for a replace-mode
+/// store. With workspace recycling on, `w`'s own previous dense store is
+/// reclaimed (zero-normalized so results stay bit-identical to fresh
+/// buffers); otherwise — and whenever shapes do not match — the
+/// paper-faithful fresh allocation runs.
+pub(crate) fn take_or_alloc_dense<T: Scalar>(w: &mut Vector<T>, n: usize) -> (Vec<T>, Vec<bool>) {
+    let bytes = n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>());
+    if crate::workspace::enabled() {
+        if let Some((mut vals, mut present)) = w.take_dense_store() {
+            if vals.len() == n {
+                crate::workspace::note_reused(bytes);
+                vals.fill(T::ZERO);
+                present.fill(false);
+                return (vals, present);
+            }
+        }
+        crate::workspace::note_fresh(bytes);
+    }
+    (vec![T::ZERO; n], vec![false; n])
+}
+
+/// The entry list of `u`: drawn from the workspace pool when recycling is
+/// on, freshly allocated (the paper-faithful materialization) otherwise.
+pub(crate) fn take_entries<T: Scalar, R: Runtime>(u: &Vector<T>, rt: R) -> Vec<(u32, T)> {
+    if crate::workspace::enabled() {
+        let mut buf = rt
+            .workspace()
+            .take_vec(crate::workspace::Shelf::Entries, u.nvals());
+        u.entries_into(&mut buf);
+        buf
+    } else {
+        u.entries()
+    }
+}
+
+/// Returns an entry list obtained via [`take_entries`] to the pool (a
+/// no-op drop when recycling is off).
+pub(crate) fn give_entries<T: Scalar, R: Runtime>(entries: Vec<(u32, T)>, rt: R) {
+    if crate::workspace::enabled() {
+        rt.workspace()
+            .give_vec(crate::workspace::Shelf::Entries, entries);
     }
 }
 

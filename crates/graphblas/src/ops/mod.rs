@@ -23,6 +23,12 @@ pub(crate) struct OpTrace {
     mask: MaskMode,
     mask_complement: bool,
     replace: bool,
+    /// Workspace counters at op entry; the span reports the delta.
+    ws: crate::workspace::WsSnapshot,
+    /// Monotone allocator total at op entry.
+    alloc_total: usize,
+    /// Live allocator bytes at op entry.
+    alloc_live: usize,
     started: Instant,
 }
 
@@ -47,6 +53,9 @@ pub(crate) fn op_start(
         mask,
         mask_complement: mask_present && desc.mask_complement,
         replace: desc.replace,
+        ws: crate::workspace::snapshot(),
+        alloc_total: perfmon::alloc::total_bytes(),
+        alloc_live: perfmon::alloc::live_bytes(),
         started: Instant::now(),
     })
 }
@@ -79,6 +88,12 @@ impl OpTrace {
         selection: &kernels::Selection,
         accumulator_bytes: u64,
     ) {
+        let ws = crate::workspace::snapshot();
+        // Transient churn: bytes allocated during the op minus bytes still
+        // live at op end — the thrown-away allocations workspace recycling
+        // targets. 0 when the tracking allocator is not installed.
+        let total_delta = perfmon::alloc::total_bytes().saturating_sub(self.alloc_total);
+        let live_delta = perfmon::alloc::live_bytes().saturating_sub(self.alloc_live);
         trace::record(Event::Op(OpSpan {
             seq: 0,
             backend: self.backend,
@@ -94,6 +109,11 @@ impl OpTrace {
             frontier_degree: selection.frontier_degree,
             matrix_nnz: selection.matrix_nnz,
             mask_admitted: selection.mask_admitted,
+            ws_reused_bytes: ws.reused - self.ws.reused,
+            ws_fresh_bytes: ws.fresh - self.ws.fresh,
+            flops: ws.flops - self.ws.flops,
+            chunks: ws.chunks - self.ws.chunks,
+            alloc_bytes: total_delta.saturating_sub(live_delta) as u64,
             elapsed_ns: self.started.elapsed().as_nanos() as u64,
         }));
     }

@@ -171,6 +171,55 @@ impl<T: Scalar> DenseScratch<T> {
             self.stamp.resize(n, 0);
         }
     }
+
+    /// Bytes retained by the scratch arrays (for pool accounting).
+    fn retained_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<T>()
+            + (self.stamp.capacity() + self.touched.capacity()) * std::mem::size_of::<u32>()
+    }
+
+    /// Pool-reuse guard: a recycled scratch whose generation counter is
+    /// close to wrapping gets its stamps cleared, so a stale stamp can
+    /// never collide with a re-issued generation value.
+    fn renew(&mut self) {
+        if self.generation > u32::MAX - (1 << 20) {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 0;
+        }
+    }
+}
+
+/// Per-row flop count of the SAXPY methods: every entry `a(i,k)`
+/// contributes `nnz(b(k,:))` multiply-adds. The `+ 1` keeps empty rows
+/// from collapsing into a single unbounded chunk.
+fn saxpy_row_flops<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, i: usize) -> u64 {
+    let (acols, _) = a.row(i as u32);
+    acols.iter().map(|&k| b.row_nvals(k) as u64).sum::<u64>() + 1
+}
+
+/// The per-row result buffer for an SpGEMM: pooled (with inner-row
+/// capacities retained from earlier calls) when recycling is on, the
+/// paper-faithful fresh allocation otherwise.
+fn take_result_rows<T: Scalar, R: Runtime>(nrows: usize, rt: R) -> Vec<Vec<(u32, T)>> {
+    if crate::workspace::enabled() {
+        rt.workspace().take_rows(nrows)
+    } else {
+        vec![Vec::new(); nrows]
+    }
+}
+
+/// Assembles the result CSR and returns the row buffers to the pool.
+fn finish_rows<T: Scalar, R: Runtime>(
+    nrows: usize,
+    ncols: usize,
+    mut rows: Vec<Vec<(u32, T)>>,
+    rt: R,
+) -> Matrix<T> {
+    let c = Matrix::from_rows_drain(nrows, ncols, &mut rows);
+    if crate::workspace::enabled() {
+        rt.workspace().give_rows(rows);
+    }
+    c
 }
 
 fn saxpy_gustavson<T, S, R>(semiring: S, a: &Matrix<T>, b: &Matrix<T>, rt: R) -> Matrix<T>
@@ -181,46 +230,71 @@ where
 {
     let nrows = a.nrows();
     let ncols = b.ncols();
-    let scratch: PerThread<DenseScratch<T>> = PerThread::new(DenseScratch::new);
-    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    let pooled = crate::workspace::enabled();
+    let (values, scratch_reused) = if pooled {
+        match rt
+            .workspace()
+            .take::<Vec<DenseScratch<T>>>(crate::workspace::Shelf::Scratch)
+        {
+            Some(mut values) => {
+                values.iter_mut().for_each(DenseScratch::renew);
+                (values, true)
+            }
+            None => (Vec::new(), false),
+        }
+    } else {
+        (Vec::new(), false)
+    };
+    let scratch: PerThread<DenseScratch<T>> = PerThread::from_values(values, DenseScratch::new);
+    let mut rows: Vec<Vec<(u32, T)>> = take_result_rows(nrows, rt);
     {
         let pr = ParSlice::new(&mut rows);
-        rt.parallel_for(nrows, |i| {
-            let row = scratch.with(|s| {
-                s.ensure(ncols);
-                s.generation += 1;
-                let generation = s.generation;
-                s.touched.clear();
-                let (acols, avals) = a.row(i as u32);
-                for (&k, &av) in acols.iter().zip(avals.iter()) {
-                    perfmon::touch_ref(&av);
-                    let (bcols, bvals) = b.row(k);
-                    for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
-                        perfmon::instr(2);
-                        perfmon::touch_ref(&bv);
-                        let prod = semiring.mul(av, bv);
-                        let j = j as usize;
-                        perfmon::touch_ref(&s.vals[j]);
-                        if s.stamp[j] != generation {
-                            s.stamp[j] = generation;
-                            s.vals[j] = prod;
-                            s.touched.push(j as u32);
-                        } else {
-                            s.vals[j] = semiring.add(s.vals[j], prod);
+        rt.parallel_for_balanced(
+            nrows,
+            |i| saxpy_row_flops(a, b, i),
+            |i| {
+                scratch.with(|s| {
+                    s.ensure(ncols);
+                    s.generation += 1;
+                    let generation = s.generation;
+                    s.touched.clear();
+                    let (acols, avals) = a.row(i as u32);
+                    for (&k, &av) in acols.iter().zip(avals.iter()) {
+                        perfmon::touch_ref(&av);
+                        let (bcols, bvals) = b.row(k);
+                        for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
+                            perfmon::instr(2);
+                            perfmon::touch_ref(&bv);
+                            let prod = semiring.mul(av, bv);
+                            let j = j as usize;
+                            perfmon::touch_ref(&s.vals[j]);
+                            if s.stamp[j] != generation {
+                                s.stamp[j] = generation;
+                                s.vals[j] = prod;
+                                s.touched.push(j as u32);
+                            } else {
+                                s.vals[j] = semiring.add(s.vals[j], prod);
+                            }
                         }
                     }
-                }
-                s.touched.sort_unstable();
-                s.touched
-                    .iter()
-                    .map(|&j| (j, s.vals[j as usize]))
-                    .collect::<Vec<_>>()
-            });
-            // SAFETY: one writer per row index.
-            unsafe { *pr.get_mut(i) = row };
-        });
+                    s.touched.sort_unstable();
+                    // SAFETY: one writer per row index.
+                    let slot = unsafe { pr.get_mut(i) };
+                    slot.extend(s.touched.iter().map(|&j| (j, s.vals[j as usize])));
+                });
+            },
+        );
     }
-    Matrix::from_rows(nrows, ncols, rows)
+    if pooled {
+        let values = scratch.into_inner();
+        let bytes: usize = values.iter().map(DenseScratch::retained_bytes).sum();
+        if !scratch_reused {
+            crate::workspace::note_fresh(bytes);
+        }
+        rt.workspace()
+            .give(crate::workspace::Shelf::Scratch, values, bytes);
+    }
+    finish_rows(nrows, ncols, rows, rt)
 }
 
 /// Open-addressing scratch for the hash SAXPY method.
@@ -273,16 +347,23 @@ impl<T: Scalar> HashScratch<T> {
         }
     }
 
-    fn drain_sorted(&self) -> Vec<(u32, T)> {
-        let mut out: Vec<(u32, T)> = self
-            .keys
-            .iter()
-            .zip(self.vals.iter())
-            .filter(|(&k, _)| k != HASH_EMPTY)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+    /// Drains the live table entries into `out` (empty on entry) in
+    /// ascending key order.
+    fn drain_sorted_into(&self, out: &mut Vec<(u32, T)>) {
+        out.extend(
+            self.keys
+                .iter()
+                .zip(self.vals.iter())
+                .filter(|(&k, _)| k != HASH_EMPTY)
+                .map(|(&k, &v)| (k, v)),
+        );
         out.sort_unstable_by_key(|e| e.0);
-        out
+    }
+
+    /// Bytes retained by the table arrays (for pool accounting).
+    fn retained_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<T>()
     }
 }
 
@@ -294,39 +375,63 @@ where
 {
     let nrows = a.nrows();
     let ncols = b.ncols();
-    let scratch: PerThread<HashScratch<T>> = PerThread::new(HashScratch::new);
+    let pooled = crate::workspace::enabled();
+    let (values, scratch_reused) = if pooled {
+        match rt
+            .workspace()
+            .take::<Vec<HashScratch<T>>>(crate::workspace::Shelf::Scratch)
+        {
+            Some(values) => (values, true),
+            None => (Vec::new(), false),
+        }
+    } else {
+        (Vec::new(), false)
+    };
+    let scratch: PerThread<HashScratch<T>> = PerThread::from_values(values, HashScratch::new);
     let add = |x, y| semiring.add(x, y);
-    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    let mut rows: Vec<Vec<(u32, T)>> = take_result_rows(nrows, rt);
     {
         let pr = ParSlice::new(&mut rows);
-        rt.parallel_for(nrows, |i| {
-            let (acols, avals) = a.row(i as u32);
-            // Upper bound on the row's intermediate products.
-            let mut flops = 0usize;
-            for &k in acols {
-                flops += b.row_nvals(k);
-            }
-            if flops == 0 {
-                return;
-            }
-            let row = scratch.with(|s| {
-                s.reset(flops);
-                for (&k, &av) in acols.iter().zip(avals.iter()) {
-                    perfmon::touch_ref(&av);
-                    let (bcols, bvals) = b.row(k);
-                    for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
-                        perfmon::instr(2);
-                        perfmon::touch_ref(&bv);
-                        s.upsert(j, semiring.mul(av, bv), add);
-                    }
+        rt.parallel_for_balanced(
+            nrows,
+            |i| saxpy_row_flops(a, b, i),
+            |i| {
+                let (acols, avals) = a.row(i as u32);
+                // Upper bound on the row's intermediate products.
+                let mut flops = 0usize;
+                for &k in acols {
+                    flops += b.row_nvals(k);
                 }
-                s.drain_sorted()
-            });
-            // SAFETY: one writer per row index.
-            unsafe { *pr.get_mut(i) = row };
-        });
+                if flops == 0 {
+                    return;
+                }
+                scratch.with(|s| {
+                    s.reset(flops);
+                    for (&k, &av) in acols.iter().zip(avals.iter()) {
+                        perfmon::touch_ref(&av);
+                        let (bcols, bvals) = b.row(k);
+                        for (&j, &bv) in bcols.iter().zip(bvals.iter()) {
+                            perfmon::instr(2);
+                            perfmon::touch_ref(&bv);
+                            s.upsert(j, semiring.mul(av, bv), add);
+                        }
+                    }
+                    // SAFETY: one writer per row index.
+                    s.drain_sorted_into(unsafe { pr.get_mut(i) });
+                });
+            },
+        );
     }
-    Matrix::from_rows(nrows, ncols, rows)
+    if pooled {
+        let values = scratch.into_inner();
+        let bytes: usize = values.iter().map(HashScratch::retained_bytes).sum();
+        if !scratch_reused {
+            crate::workspace::note_fresh(bytes);
+        }
+        rt.workspace()
+            .give(crate::workspace::Shelf::Scratch, values, bytes);
+    }
+    finish_rows(nrows, ncols, rows, rt)
 }
 
 /// Masked dot-product SpGEMM: computes only the entries the mask allows,
@@ -347,16 +452,23 @@ where
 {
     let nrows = a.nrows();
     let ncols = bt.nrows();
-    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    let mut rows: Vec<Vec<(u32, T)>> = take_result_rows(nrows, rt);
     {
         let pr = ParSlice::new(&mut rows);
-        rt.parallel_for(nrows, |i| {
+        // Dot work per row: one merge-join per admitted mask entry, each
+        // bounded by the a-row length — so the mask and a row sizes are
+        // the balancing estimate.
+        rt.parallel_for_balanced(
+            nrows,
+            |i| (mask.row_nvals(i as u32) + a.row_nvals(i as u32)) as u64 + 1,
+            |i| {
             let (mcols, mvals) = mask.row(i as u32);
             if mcols.is_empty() {
                 return;
             }
             let (acols, avals) = a.row(i as u32);
-            let mut out = Vec::new();
+            // SAFETY: one writer per row index.
+            let out = unsafe { pr.get_mut(i) };
             for (&j, &mv) in mcols.iter().zip(mvals.iter()) {
                 perfmon::instr(1);
                 if !(desc.mask_structural || mv.is_nonzero()) {
@@ -386,11 +498,9 @@ where
                     out.push((j, acc));
                 }
             }
-            // SAFETY: one writer per row index.
-            unsafe { *pr.get_mut(i) = out };
         });
     }
-    Matrix::from_rows(nrows, ncols, rows)
+    finish_rows(nrows, ncols, rows, rt)
 }
 
 /// Diagonal-times-matrix specialization: row `i` of the result is row `i`
@@ -410,7 +520,7 @@ where
     R: Runtime,
 {
     let nrows = a.nrows();
-    let mut rows: Vec<Vec<(u32, T)>> = vec![Vec::new(); nrows];
+    let mut rows: Vec<Vec<(u32, T)>> = take_result_rows(nrows, rt);
     {
         let pr = ParSlice::new(&mut rows);
         rt.parallel_for(nrows, |i| {
@@ -418,20 +528,16 @@ where
                 return;
             };
             let (bcols, bvals) = b.row(i as u32);
-            let row: Vec<(u32, T)> = bcols
-                .iter()
-                .zip(bvals.iter())
-                .map(|(&j, &bv)| {
-                    perfmon::instr(1);
-                    perfmon::touch_ref(&bv);
-                    (j, semiring.mul(d, bv))
-                })
-                .collect();
             // SAFETY: one writer per row index.
-            unsafe { *pr.get_mut(i) = row };
+            let row = unsafe { pr.get_mut(i) };
+            row.extend(bcols.iter().zip(bvals.iter()).map(|(&j, &bv)| {
+                perfmon::instr(1);
+                perfmon::touch_ref(&bv);
+                (j, semiring.mul(d, bv))
+            }));
         });
     }
-    let c = Matrix::from_rows(nrows, b.ncols(), rows);
+    let c = finish_rows(nrows, b.ncols(), rows, rt);
     match mask {
         Some(m) => filter_by_mask(c, m, desc, rt),
         None => c,

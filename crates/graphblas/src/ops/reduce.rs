@@ -68,7 +68,7 @@ where
     {
         let pv = crate::util::ParSlice::new(&mut vals);
         let pp = crate::util::ParSlice::new(&mut present);
-        rt.parallel_for(n, |i| {
+        rt.parallel_for_balanced(n, |i| a.row_nvals(i as u32) as u64 + 1, |i| {
             let (_, row_vals) = a.row(i as u32);
             if row_vals.is_empty() {
                 return;
@@ -104,7 +104,7 @@ where
 {
     let span = crate::ops::op_start_plain(crate::ops::OpKind::ReduceMatrix, R::NAME);
     let partials: PerThread<T> = PerThread::new(|| monoid.identity());
-    rt.parallel_for(a.nrows(), |i| {
+    rt.parallel_for_balanced(a.nrows(), |i| a.row_nvals(i as u32) as u64 + 1, |i| {
         let (_, vals) = a.row(i as u32);
         partials.with(|acc| {
             for v in vals {

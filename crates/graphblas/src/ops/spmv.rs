@@ -80,8 +80,9 @@ where
         desc,
     );
 
-    // Materialize the input entries so the parallel loop can index them.
-    let entries: Vec<(u32, T)> = u.entries();
+    // Materialize the input entries so the parallel loop can index them
+    // (from the workspace pool when recycling is on).
+    let entries: Vec<(u32, T)> = kernels::take_entries(u, rt);
     let input_nnz = entries.len();
     let selection = kernels::select_vxm(u, a, mask, desc)?;
     if substrate::fault::point("grb.alloc.accumulator") {
@@ -115,31 +116,68 @@ where
         _ => {
             // Dense accumulator over the output dimension: the
             // intermediate the paper's fixed push strategy cannot avoid.
-            let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
+            // With recycling on, the accumulator is an epoch-stamped
+            // buffer from the pool whose clear is a generation bump; off
+            // runs the paper-faithful fresh atomic accumulator.
             let bytes = (a.ncols() * std::mem::size_of::<T>()) as u64;
             let add = |x, y| semiring.add(x, y);
-            rt.parallel_for(entries.len(), |p| {
-                let (i, x) = entries[p];
-                perfmon::touch_ref(&entries[p]);
-                let (cols, vals) = a.row(i);
-                for (&j, &av) in cols.iter().zip(vals.iter()) {
-                    perfmon::instr(2);
-                    perfmon::touch_ref(&av);
-                    if let Some(m) = mask {
-                        let pass =
-                            m.mask_at(j, desc.mask_structural) != desc.mask_complement;
-                        perfmon::instr(1);
-                        if !pass {
-                            continue;
+            if crate::workspace::enabled() {
+                let ws = rt.workspace();
+                let mut acc: crate::workspace::EpochAcc = ws
+                    .take(crate::workspace::Shelf::Acc)
+                    .unwrap_or_default();
+                let (_reused, fresh) = acc.begin(a.ncols());
+                crate::workspace::note_fresh(fresh);
+                rt.parallel_for(entries.len(), |p| {
+                    let (i, x) = entries[p];
+                    perfmon::touch_ref(&entries[p]);
+                    let (cols, vals) = a.row(i);
+                    for (&j, &av) in cols.iter().zip(vals.iter()) {
+                        perfmon::instr(2);
+                        perfmon::touch_ref(&av);
+                        if let Some(m) = mask {
+                            let pass =
+                                m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                            perfmon::instr(1);
+                            if !pass {
+                                continue;
+                            }
                         }
+                        acc.accumulate(j as usize, semiring.mul(x, av), add);
                     }
-                    acc.accumulate(j as usize, semiring.mul(x, av), add);
-                }
-            });
-            store_accumulator(w, acc, desc.replace);
+                });
+                let mut out = ws.take_vec(crate::workspace::Shelf::Entries, 0);
+                acc.drain_into(a.ncols(), &mut out);
+                kernels::store_entries_slice(w, &out, desc.replace);
+                ws.give_vec(crate::workspace::Shelf::Entries, out);
+                let retained = acc.retained_bytes();
+                ws.give(crate::workspace::Shelf::Acc, acc, retained);
+            } else {
+                let acc: AtomicAccumulator<T> = AtomicAccumulator::new(a.ncols());
+                rt.parallel_for(entries.len(), |p| {
+                    let (i, x) = entries[p];
+                    perfmon::touch_ref(&entries[p]);
+                    let (cols, vals) = a.row(i);
+                    for (&j, &av) in cols.iter().zip(vals.iter()) {
+                        perfmon::instr(2);
+                        perfmon::touch_ref(&av);
+                        if let Some(m) = mask {
+                            let pass =
+                                m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                            perfmon::instr(1);
+                            if !pass {
+                                continue;
+                            }
+                        }
+                        acc.accumulate(j as usize, semiring.mul(x, av), add);
+                    }
+                });
+                store_accumulator(w, acc, desc.replace);
+            }
             bytes
         }
     };
+    kernels::give_entries(entries, rt);
     if let Some(span) = span {
         span.finish_kernel(
             input_nnz,
@@ -228,19 +266,21 @@ where
         KernelChoice::PushSparse => {
             // Scatter the entries of `u` through the columns of `A`
             // (rows of the cached transpose) into sparse lanes.
-            let entries = u.entries();
+            let entries = kernels::take_entries(u, rt);
             let mul = |x, av| semiring.mul(av, x);
             let (out, bytes) =
                 kernels::scatter_sparse(&entries, a.transpose(), mask, desc, semiring, mul, rt);
+            kernels::give_entries(entries, rt);
             kernels::store_entries(w, out, desc.replace || mask.is_none());
             bytes
         }
         KernelChoice::PushDense => {
-            let entries = u.entries();
+            let entries = kernels::take_entries(u, rt);
             let mul = |x, av| semiring.mul(av, x);
             let add = |x, y| semiring.add(x, y);
             let (acc, bytes) =
                 kernels::scatter_dense(&entries, a.transpose(), n, mask, desc, add, mul, rt);
+            kernels::give_entries(entries, rt);
             store_accumulator(w, acc, desc.replace || mask.is_none());
             bytes
         }
@@ -250,12 +290,19 @@ where
             let udense = u.dense_parts();
             let bytes =
                 (n * (std::mem::size_of::<T>() + std::mem::size_of::<bool>())) as u64;
-            let mut vals = vec![T::ZERO; n];
-            let mut present = vec![false; n];
+            let overwrite = desc.replace || mask.is_none();
+            // In the overwrite case `w`'s previous contents are dead, so
+            // recycling can reclaim its dense store as the output buffer;
+            // the merge case must keep them readable below.
+            let (mut vals, mut present) = if overwrite {
+                kernels::take_or_alloc_dense(w, n)
+            } else {
+                (vec![T::ZERO; n], vec![false; n])
+            };
             {
                 let pv = ParSlice::new(&mut vals);
                 let pp = ParSlice::new(&mut present);
-                rt.parallel_for(n, |i| {
+                rt.parallel_for_balanced(n, |i| a.row_nvals(i as u32) as u64 + 1, |i| {
                     if let Some(m) = mask {
                         perfmon::instr(1);
                         let pass =
@@ -293,7 +340,7 @@ where
                 });
             }
 
-            if desc.replace || mask.is_none() {
+            if overwrite {
                 w.set_dense(vals, present);
             } else {
                 // Merge: keep previous entries where the mask did not pass.
@@ -324,30 +371,10 @@ where
     Ok(())
 }
 
-/// Commits an accumulator into `w` under merge-or-replace semantics.
+/// Commits an accumulator into `w` under merge-or-replace semantics
+/// (one scan of the accumulator, then the shared entry-store path).
 fn store_accumulator<T: Scalar>(w: &mut Vector<T>, acc: AtomicAccumulator<T>, replace: bool) {
-    let n = acc.len();
-    if replace {
-        // Fresh contents: scan the accumulator once.
-        let entries = acc.into_entries();
-        if crate::vector::dense_preferred(entries.len(), n) {
-            let mut vals = vec![T::ZERO; n];
-            let mut present = vec![false; n];
-            for &(i, v) in &entries {
-                vals[i as usize] = v;
-                present[i as usize] = true;
-            }
-            w.set_dense(vals, present);
-        } else {
-            let (idx, vals) = entries.into_iter().unzip();
-            w.set_sparse(idx, vals);
-        }
-    } else {
-        for (i, v) in acc.into_entries() {
-            perfmon::instr(1);
-            w.set(i, v).expect("accumulator indices in range");
-        }
-    }
+    kernels::store_entries(w, acc.into_entries(), replace);
 }
 
 #[cfg(test)]

@@ -17,6 +17,33 @@ pub trait Runtime: Copy + Send + Sync + Default + 'static {
     /// iterations complete (each GraphBLAS call is a barrier in both
     /// SuiteSparse and GaloisBLAS).
     fn parallel_for<F: Fn(usize) + Sync>(self, n: usize, f: F);
+
+    /// The recyclable-buffer workspace kernels draw scratch from. Both
+    /// backends share the process-global pool: buffers released by an SS
+    /// call are reusable by the next GB call and vice versa, which is the
+    /// GraphMat observation (per-thread state reuse across iterations)
+    /// applied at the process level.
+    #[inline]
+    fn workspace(self) -> &'static crate::workspace::Workspace {
+        crate::workspace::global()
+    }
+
+    /// Runs `f(i)` for every `i < n` in parallel, partitioned into
+    /// equal-*cost* chunks by `cost_of(i)` when workspace mode is on
+    /// (GraphBLAST-style flop balancing); falls back to the backend's own
+    /// [`Runtime::parallel_for`] scheduling when off.
+    #[inline]
+    fn parallel_for_balanced<F, C>(self, n: usize, cost_of: C, f: F)
+    where
+        F: Fn(usize) + Sync,
+        C: Fn(usize) -> u64,
+    {
+        if crate::workspace::enabled() {
+            crate::workspace::run_balanced(n, cost_of, f);
+        } else {
+            self.parallel_for(n, f);
+        }
+    }
 }
 
 /// SuiteSparse-like backend: contiguous static partitioning, as OpenMP

@@ -344,6 +344,35 @@ impl<T: Scalar> Vector<T> {
             nvals,
         };
     }
+
+    /// Takes the dense buffers out of the vector (leaving it empty
+    /// sparse) so an overwrite path can recycle them instead of
+    /// allocating — the workspace layer's store reuse. `None` when the
+    /// store is sparse. Callers must zero-normalize (`vals` to `T::ZERO`
+    /// and `present` to `false` at every slot) before repopulating, so
+    /// reused stores stay bit-identical to freshly allocated ones.
+    pub(crate) fn take_dense_store(&mut self) -> Option<(Vec<T>, Vec<bool>)> {
+        match std::mem::replace(
+            &mut self.store,
+            Store::Sparse {
+                idx: Vec::new(),
+                vals: Vec::new(),
+            },
+        ) {
+            Store::Dense { vals, present, .. } => Some((vals, present)),
+            sparse => {
+                self.store = sparse;
+                None
+            }
+        }
+    }
+
+    /// Collects the explicit entries into `out` (cleared first) — the
+    /// pooled-buffer counterpart of [`Vector::entries`].
+    pub(crate) fn entries_into(&self, out: &mut Vec<(u32, T)>) {
+        out.clear();
+        out.extend(self.iter());
+    }
 }
 
 /// Thread-safe unordered build buffer — the paper's third GaloisBLAS

@@ -303,6 +303,121 @@ fn kernels_agree_under_every_semiring_and_descriptor() {
     );
 }
 
+/// Collects the vxm/mxv outputs for one semiring across every
+/// mask/complement/replace/structural descriptor combination.
+fn collect_spmv<S: SemiringOps<u64>>(
+    semiring: S,
+    a: &Matrix<u64>,
+    u: &Vector<u64>,
+    mask: &Vector<u64>,
+    out: &mut Vec<Vec<(u32, u64)>>,
+) {
+    for masked in [false, true] {
+        for complement in [false, true] {
+            for replace in [false, true] {
+                for structural in [false, true] {
+                    if !masked && (complement || structural) {
+                        continue;
+                    }
+                    let desc = Descriptor::new()
+                        .with_mask_complement(complement)
+                        .with_replace(replace)
+                        .with_mask_structural(structural);
+                    let m: Option<&Vector<u64>> = masked.then_some(mask);
+                    let mut push: Vector<u64> = Vector::new(N);
+                    ops::vxm(&mut push, m, semiring, u, a, &desc, GaloisRuntime).unwrap();
+                    out.push(push.entries());
+                    let mut pull: Vector<u64> = Vector::new(N);
+                    ops::mxv(&mut pull, m, semiring, a, u, &desc, GaloisRuntime).unwrap();
+                    out.push(pull.entries());
+                }
+            }
+        }
+    }
+}
+
+/// Collects the mxm outputs for one semiring across the three methods
+/// (the dot kernel needs a mask, exercised both structurally and valued).
+fn collect_mxm<S: SemiringOps<u64>>(
+    semiring: S,
+    a: &Matrix<u64>,
+    b: &Matrix<u64>,
+    m: &Matrix<u64>,
+    out: &mut Vec<Vec<(u32, u32, u64)>>,
+) {
+    for method in [MethodHint::Gustavson, MethodHint::Hash] {
+        let c = ops::mxm(
+            None::<&Matrix<u64>>,
+            semiring,
+            a,
+            b,
+            &Descriptor::new().with_method(method),
+            GaloisRuntime,
+        )
+        .unwrap();
+        out.push(c.to_tuples());
+    }
+    for structural in [false, true] {
+        let desc = Descriptor::new()
+            .with_method(MethodHint::Dot)
+            .with_mask_structural(structural);
+        let c = ops::mxm(Some(m), semiring, a, b, &desc, GaloisRuntime).unwrap();
+        out.push(c.to_tuples());
+    }
+}
+
+#[test]
+fn flop_balanced_scheduling_matches_row_partitioning_bit_for_bit() {
+    // The flop-balanced partitioner and the recycled workspaces
+    // (`STUDY_WORKSPACE=on`) must be invisible in results: on every
+    // semiring the study uses x every mask/complement/replace/structural
+    // descriptor combination x 1/2/8 threads, vxm, mxv and all three mxm
+    // methods produce outputs bit-for-bit identical to the
+    // row-partitioned per-call-allocation path (`STUDY_WORKSPACE=off`).
+    use graphblas::{set_workspace_mode, workspace_mode, WorkspaceMode};
+    prop::check(
+        "flop_balanced_scheduling_matches_row_partitioning_bit_for_bit",
+        prop::cases(8),
+        |g| (arb_matrix(g), arb_matrix(g), arb_matrix(g), arb_vector(g), arb_mask(g)),
+        |(a, b, mm, u, mask)| {
+            let saved_threads = galois_rt::threads();
+            let saved_mode = workspace_mode();
+            let collect_all = || {
+                let mut vecs = Vec::new();
+                let mut mats = Vec::new();
+                collect_spmv(PlusTimes, a, u, mask, &mut vecs);
+                collect_spmv(MinPlus, a, u, mask, &mut vecs);
+                collect_spmv(LorLand, a, u, mask, &mut vecs);
+                collect_spmv(MinSecond, a, u, mask, &mut vecs);
+                collect_mxm(PlusTimes, a, b, mm, &mut mats);
+                collect_mxm(MinPlus, a, b, mm, &mut mats);
+                collect_mxm(LorLand, a, b, mm, &mut mats);
+                collect_mxm(MinSecond, a, b, mm, &mut mats);
+                (vecs, mats)
+            };
+            let result = (|| {
+                for threads in [1usize, 2, 8] {
+                    galois_rt::set_threads(threads);
+                    set_workspace_mode(WorkspaceMode::Off);
+                    let row_partitioned = collect_all();
+                    set_workspace_mode(WorkspaceMode::On);
+                    let flop_balanced = collect_all();
+                    prop_assert_eq!(
+                        flop_balanced,
+                        row_partitioned,
+                        "threads={}",
+                        threads
+                    );
+                }
+                Ok(())
+            })();
+            galois_rt::set_threads(saved_threads);
+            set_workspace_mode(saved_mode);
+            result
+        },
+    );
+}
+
 #[test]
 fn transpose_is_involutive() {
     prop::check("transpose_is_involutive", prop::cases(CASES), arb_matrix, |a| {

@@ -50,12 +50,16 @@ pub fn pagerank<R: Runtime>(
     let base = Vector::new_dense(n, (1.0 - DAMPING) / n as f64);
     let mut pr = base.clone();
 
+    // Round temporaries live outside the loop so warm iterations recycle
+    // their dense stores instead of reallocating them; every pass below
+    // fully overwrites its output.
+    let mut contrib: Vector<f64> = Vector::new(n);
+    let mut incoming: Vector<f64> = Vector::new(n);
+    let mut next: Vector<f64> = Vector::new(n);
     for _ in 0..iters {
         // Pass 1: contrib = pr .* (1/deg)
-        let mut contrib: Vector<f64> = Vector::new(n);
         ops::ewise_mult(&mut contrib, Times, &pr, &inv_deg, rt)?;
         // Pass 2: incoming = contribᵀ · A (push along out-edges)
-        let mut incoming: Vector<f64> = Vector::new(n);
         ops::vxm(
             &mut incoming,
             None::<&Vector<bool>>,
@@ -68,9 +72,8 @@ pub fn pagerank<R: Runtime>(
         // Pass 3: damp
         ops::apply_inplace(&mut incoming, |x| DAMPING * x, rt);
         // Pass 4: pr = base + damped incoming
-        let mut next: Vector<f64> = Vector::new(n);
         ops::ewise_add(&mut next, Plus, &base, &incoming, rt)?;
-        pr = next;
+        std::mem::swap(&mut pr, &mut next);
     }
 
     Ok((0..n as u32).map(|i| pr.get(i).unwrap_or(0.0)).collect())
@@ -93,12 +96,15 @@ pub fn pagerank_residual<R: Runtime>(
     let mut pr = Vector::new_dense(n, (1.0 - DAMPING) / n as f64);
     let mut residual = pr.clone();
 
+    // Hoisted round temporaries (see `pagerank`): each pass fully
+    // overwrites its output, so warm rounds reuse the dense stores.
+    let mut scaled: Vector<f64> = Vector::new(n);
+    let mut incoming: Vector<f64> = Vector::new(n);
+    let mut next_pr: Vector<f64> = Vector::new(n);
     for _ in 0..iters {
         // API call 1 on the residual: scale by the out-degree reciprocal.
-        let mut scaled: Vector<f64> = Vector::new(n);
         ops::ewise_mult(&mut scaled, Times, &residual, &inv_deg, rt)?;
         // Propagate along out-edges.
-        let mut incoming: Vector<f64> = Vector::new(n);
         ops::vxm(
             &mut incoming,
             None::<&Vector<bool>>,
@@ -110,10 +116,9 @@ pub fn pagerank_residual<R: Runtime>(
         )?;
         ops::apply_inplace(&mut incoming, |x| DAMPING * x, rt);
         // API call 2 on the residual: fold the new residual into the rank.
-        let mut next_pr: Vector<f64> = Vector::new(n);
         ops::ewise_add(&mut next_pr, Plus, &pr, &incoming, rt)?;
-        pr = next_pr;
-        residual = incoming;
+        std::mem::swap(&mut pr, &mut next_pr);
+        std::mem::swap(&mut residual, &mut incoming);
     }
 
     Ok((0..n as u32).map(|i| pr.get(i).unwrap_or(0.0)).collect())

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
 
 /// A `GlobalAlloc` that forwards to [`System`] while tracking live and
 /// peak allocation totals.
@@ -21,6 +22,7 @@ pub struct TrackingAllocator;
 
 impl TrackingAllocator {
     fn on_alloc(size: usize) {
+        TOTAL.fetch_add(size, Ordering::Relaxed);
         let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
         PEAK.fetch_max(live, Ordering::Relaxed);
     }
@@ -81,6 +83,14 @@ pub fn reset_peak() {
     PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
+/// Monotone sum of every byte ever allocated (never decremented). The
+/// delta over an interval, minus the [`live_bytes`] growth over the same
+/// interval, is the *transient churn* — bytes allocated and thrown away
+/// within it.
+pub fn total_bytes() -> usize {
+    TOTAL.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,11 +100,17 @@ mod tests {
     #[test]
     fn live_and_peak_track_alloc_dealloc() {
         let before_live = live_bytes();
+        let before_total = total_bytes();
         TrackingAllocator::on_alloc(1000);
         assert_eq!(live_bytes(), before_live + 1000);
         assert!(peak_bytes() >= before_live + 1000);
         TrackingAllocator::on_dealloc(1000);
         assert_eq!(live_bytes(), before_live);
+        assert_eq!(
+            total_bytes(),
+            before_total + 1000,
+            "total is monotone: dealloc must not decrement it"
+        );
     }
 
     #[test]

@@ -207,6 +207,22 @@ pub struct OpSpan {
     /// Heuristic input: estimated output slots the mask admits (0 when
     /// the heuristic never ran).
     pub mask_admitted: u64,
+    /// Workspace bytes this call satisfied from the recycling pool
+    /// (0 with `STUDY_WORKSPACE=off`).
+    pub ws_reused_bytes: u64,
+    /// Workspace bytes this call allocated fresh (pool misses, growth,
+    /// and one-time cached-transpose builds).
+    pub ws_fresh_bytes: u64,
+    /// Summed per-row flop estimates of the call's flop-balanced loops
+    /// (0 when no loop was balanced).
+    pub flops: u64,
+    /// Equal-flops chunks those loops were partitioned into.
+    pub chunks: u64,
+    /// Transient allocator churn: bytes allocated during the call minus
+    /// bytes still live when it returned (0 unless the tracking
+    /// allocator is installed). The op's *thrown-away* allocations —
+    /// what workspace recycling eliminates.
+    pub alloc_bytes: u64,
     /// Wall time of the call.
     pub elapsed_ns: u64,
 }
@@ -222,6 +238,9 @@ pub enum LoopKind {
     ForEach,
     /// `galois_rt::for_each_ordered` (OBIM soft priorities).
     ForEachOrdered,
+    /// `galois_rt::do_all_ranges` (flop-balanced pre-partitioned chunks
+    /// with deque stealing for the residual imbalance).
+    DoAllBalanced,
 }
 
 impl LoopKind {
@@ -232,6 +251,7 @@ impl LoopKind {
             LoopKind::DoAllStatic => "do_all_static",
             LoopKind::ForEach => "for_each",
             LoopKind::ForEachOrdered => "for_each_ordered",
+            LoopKind::DoAllBalanced => "do_all_balanced",
         }
     }
 }
@@ -444,6 +464,11 @@ impl Trace {
                     s.ops += 1;
                     s.materialized_bytes += op.materialized_bytes;
                     s.accumulator_bytes += op.accumulator_bytes;
+                    s.ws_reused_bytes += op.ws_reused_bytes;
+                    s.ws_fresh_bytes += op.ws_fresh_bytes;
+                    s.flops += op.flops;
+                    s.chunks += op.chunks;
+                    s.alloc_bytes += op.alloc_bytes;
                     if op.kind.is_product() {
                         s.product_rounds += 1;
                     }
@@ -528,6 +553,17 @@ pub struct TraceSummary {
     pub kernel_push_dense: u64,
     /// SpMV calls that selected the masked pull kernel.
     pub kernel_pull: u64,
+    /// Workspace bytes served from the recycling pool across all ops.
+    pub ws_reused_bytes: u64,
+    /// Workspace bytes allocated fresh across all ops.
+    pub ws_fresh_bytes: u64,
+    /// Summed flop estimates of flop-balanced loops across all ops.
+    pub flops: u64,
+    /// Equal-flops chunks across all ops' balanced loops.
+    pub chunks: u64,
+    /// Transient allocator churn across all ops (0 unless the tracking
+    /// allocator is installed).
+    pub alloc_bytes: u64,
     /// Events lost to ring eviction.
     pub dropped: u64,
 }
@@ -556,6 +592,11 @@ mod tests {
             frontier_degree: 9,
             matrix_nnz: 20,
             mask_admitted: 4,
+            ws_reused_bytes: 6,
+            ws_fresh_bytes: 2,
+            flops: 40,
+            chunks: 4,
+            alloc_bytes: 13,
             elapsed_ns: 17,
         })
     }
@@ -604,6 +645,11 @@ mod tests {
         assert_eq!(s.kernel_push_dense, 2);
         assert_eq!(s.kernel_push_sparse + s.kernel_pull, 0);
         assert_eq!(s.iterations, 10);
+        assert_eq!(s.ws_reused_bytes, 12, "2 ops x 6 reused bytes");
+        assert_eq!(s.ws_fresh_bytes, 4);
+        assert_eq!(s.flops, 80);
+        assert_eq!(s.chunks, 8);
+        assert_eq!(s.alloc_bytes, 26);
         assert_eq!(s.dropped, 0);
     }
 
@@ -633,6 +679,10 @@ mod tests {
                 _ => unreachable!(),
             };
             o.elapsed_ns = 999_999; // timing differs
+            o.ws_reused_bytes = 0; // pool warmth differs
+            o.ws_fresh_bytes = 4096;
+            o.chunks = 99; // partitioning differs
+            o.alloc_bytes = 1 << 20; // allocator churn differs
             record(Event::Op(o));
             let mut l = match lp(LoopKind::DoAll, 7) {
                 Event::Loop(s) => s,

@@ -3,10 +3,10 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
-                                        [--expect-schema v1|v2|v3]
+                                        [--expect-schema v1|v2|v3|v4]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v3, "graph-api-study/bench-baseline/v3");
+``--expect-schema`` (default v4, "graph-api-study/bench-baseline/v4");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. Cells are keyed by (problem, system,
 graph). For every cell present in both files the tracing-off ``wall_s``
@@ -33,9 +33,17 @@ Materialization is additionally gated for the frontier problems: a
 those cells' accumulator footprints from creeping back up. A DROP on
 those cells is an accepted improvement and reported as a note.
 
+v4 additionally gates allocation churn on the workspace-recycled
+problems: an ``alloc_bytes`` rise beyond 10% + 4 KiB headroom on any
+pr, tc or ktruss cell is a hard ERROR (exit 1) — the epoch-recycled
+workspaces exist precisely to keep per-call allocation out of those
+hot loops. The gate only applies when both files ran with the same
+``workspace_mode``; a drop is reported as a note.
+
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
-or malformed input or a frontier materialization rise or an ok->non-ok
-status regression, 2 schema mismatch.
+or malformed input or a frontier materialization rise or an alloc churn
+rise on a workspace-gated cell or an ok->non-ok status regression,
+2 schema mismatch.
 """
 
 import json
@@ -45,14 +53,22 @@ SCHEMAS = {
     "v1": "graph-api-study/bench-baseline/v1",
     "v2": "graph-api-study/bench-baseline/v2",
     "v3": "graph-api-study/bench-baseline/v3",
+    "v4": "graph-api-study/bench-baseline/v4",
 }
-DEFAULT_SCHEMA = "v3"
+DEFAULT_SCHEMA = "v4"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
 # Problems whose materialized_bytes must never rise: their frontiers are
 # what the adaptive SpMV kernels compact.
 MATERIALIZATION_GATED = ("bfs", "sssp")
+# Problems whose alloc_bytes (transient allocation churn) must never rise
+# past the headroom below: their kernels run out of recycled workspaces.
+ALLOC_GATED = ("pr", "tc", "ktruss")
+# Allow 10% relative + 4 KiB absolute slack before calling an alloc churn
+# delta a regression (tiny cells jitter by an allocator bucket or two).
+ALLOC_HEADROOM_REL = 0.10
+ALLOC_HEADROOM_ABS = 4096
 # Ignore relative slowdowns below this absolute delta: sub-millisecond
 # cells are pure timer noise at any percentage.
 MIN_DELTA_S = 0.005
@@ -129,6 +145,12 @@ def main(argv):
             f"note: kernel modes differ ({base.get('kernel_mode')} vs "
             f"{cur.get('kernel_mode')}); counter drifts are expected"
         )
+    same_workspace = base.get("workspace_mode") == cur.get("workspace_mode")
+    if not same_workspace:
+        print(
+            f"note: workspace modes differ ({base.get('workspace_mode')} vs "
+            f"{cur.get('workspace_mode')}); alloc_bytes is not gated"
+        )
 
     regressions, warnings, errors, notes = [], [], [], []
 
@@ -190,6 +212,25 @@ def main(argv):
                     warnings.append(
                         f"{name}: {counter} drifted {bt[counter]} -> {ct[counter]}"
                     )
+        if (
+            same_workspace
+            and k[0] in ALLOC_GATED
+            and "alloc_bytes" in bt
+            and "alloc_bytes" in ct
+        ):
+            ba, ca = bt["alloc_bytes"], ct["alloc_bytes"]
+            limit = ba * (1 + ALLOC_HEADROOM_REL) + ALLOC_HEADROOM_ABS
+            if ca > limit:
+                errors.append(
+                    f"{name}: alloc_bytes ROSE {ba} -> {ca} "
+                    f"(limit {limit:.0f}; workspace-recycled cells must not "
+                    "re-grow their per-call allocation churn)"
+                )
+            elif ca < ba * (1 - ALLOC_HEADROOM_REL) - ALLOC_HEADROOM_ABS:
+                notes.append(
+                    f"{name}: alloc_bytes dropped {ba} -> {ca} (accepted "
+                    "improvement; re-baseline to lock it in)"
+                )
 
     for msg in errors:
         print(f"ERROR: {msg}")

@@ -8,6 +8,7 @@
 
 use graph_api_study::graph::{Scale, StudyGraph};
 use graph_api_study::graphblas::ops::{kernel_mode, set_kernel_mode, KernelMode};
+use graph_api_study::graphblas::{set_workspace_mode, workspace_mode, WorkspaceMode};
 use graph_api_study::perfmon;
 use graph_api_study::study_core::{run, PreparedGraph, Problem, System};
 use std::sync::Mutex;
@@ -16,24 +17,32 @@ static PERF_LOCK: Mutex<()> = Mutex::new(());
 
 /// Pins the process-wide SpMV policy to the paper's fixed strategies for
 /// the duration of a counter test (the quantitative claims below describe
-/// the *paper's* kernels, not the direction-optimizing `auto` ones) and
-/// restores the previous policy on drop. Callers must already hold
-/// `PERF_LOCK` — kernel policy is process-global, like the counters.
+/// the *paper's* kernels, not the direction-optimizing `auto` ones), and
+/// pins workspace recycling off so every GrB call allocates per-call the
+/// way the paper's implementations do — the counter ratios quantify that
+/// allocation and traversal overhead, so the recycled fast path would
+/// understate them. Restores both policies on drop. Callers must already
+/// hold `PERF_LOCK` — kernel and workspace policy are process-global,
+/// like the counters.
 struct KernelPin {
     prev: KernelMode,
+    prev_ws: WorkspaceMode,
 }
 
 impl KernelPin {
     fn paper_kernels() -> KernelPin {
         let prev = kernel_mode();
+        let prev_ws = workspace_mode();
         set_kernel_mode(KernelMode::Push);
-        KernelPin { prev }
+        set_workspace_mode(WorkspaceMode::Off);
+        KernelPin { prev, prev_ws }
     }
 }
 
 impl Drop for KernelPin {
     fn drop(&mut self) {
         set_kernel_mode(self.prev);
+        set_workspace_mode(self.prev_ws);
     }
 }
 
