@@ -4,7 +4,10 @@
 //! graphs (default `rmat22,road-USA-W,indochina04`; override with
 //! `STUDY_GRAPHS`) and writes `BENCH_baseline.json`: per-cell wall time
 //! (tracing disabled) plus the traced pass / materialization / round
-//! counts from one additional traced execution.
+//! counts from one additional traced execution. A second sweep covers
+//! the batched query dimension (`bfs-batch` / `ppr-batch` /
+//! `sssp-batch` at `STUDY_BATCH` sources per cell, default 8 here) with
+//! per-query statuses and per-query verification.
 //!
 //! ```text
 //! STUDY_SCALE=0.03 cargo run -p bench --bin baseline --release
@@ -23,19 +26,24 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use study_core::cell::{cell_timeout_from_env, run_protected, CellOutcome};
-use study_core::{try_run, verify, Json, PreparedGraph, Problem, ProblemOutput, System};
+use study_core::cell::{cell_timeout_from_env, outcome_from_result, run_protected, CellOutcome};
+use study_core::{
+    batch_sources, try_run, try_run_batch, verify, verify_batch_query, BatchProblem, Json,
+    PreparedGraph, Problem, ProblemOutput, System,
+};
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v4 adds `workspace_mode`
-/// to the header and the workspace-recycling counters
+/// (`compare_bench.py` hard-fails on mismatch). v5 adds `batch_width`
+/// to the header and the batched query cells (`bfs-batch` / `ppr-batch`
+/// / `sssp-batch`, each carrying a per-query `queries` array); v4 added
+/// `workspace_mode` to the header and the workspace-recycling counters
 /// (`ws_reused_bytes` / `ws_fresh_bytes` / `flops` / `chunks` /
 /// `alloc_bytes`) to each cell's trace summary; v3 added the per-cell
 /// `status` (`ok|failed|timeout|oom`, with `error` on non-ok cells) and
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v4";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v5";
 
 /// Track allocation churn so each cell's `alloc_bytes` is meaningful —
 /// elsewhere the counters stay zero and traced runs skip the metric.
@@ -139,11 +147,63 @@ fn run_one_cell(
     })
 }
 
+/// Everything one completed *batched* cell reports: per-query results
+/// plus batch-level timing and the shared trace.
+struct BatchRun {
+    wall: Duration,
+    traced_wall: Duration,
+    results: Vec<Result<ProblemOutput, graphblas::GrbError>>,
+    summary: perfmon::trace::TraceSummary,
+}
+
+/// One protected batched cell: `repeats` timed k-query runs with tracing
+/// off plus one traced run. Per-lane failures ride inside the per-query
+/// `Result`s; the protection boundary only converts batch-level panics
+/// and timeouts.
+fn run_one_batch_cell(
+    system: System,
+    problem: BatchProblem,
+    p: &Arc<PreparedGraph>,
+    sources: &[u32],
+    repeats: u32,
+) -> CellOutcome<BatchRun> {
+    let p = Arc::clone(p);
+    let sources = sources.to_vec();
+    run_protected(cell_timeout_from_env(), move || {
+        let mut total = Duration::ZERO;
+        let mut first = None;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let results = try_run_batch(system, problem, &p, &sources);
+            total += start.elapsed();
+            first.get_or_insert(results);
+        }
+        let start = Instant::now();
+        let (_, trace) =
+            perfmon::trace::with_trace(|| try_run_batch(system, problem, &p, &sources));
+        Ok(BatchRun {
+            wall: total / repeats.max(1),
+            traced_wall: start.elapsed(),
+            results: first.expect("repeats >= 1"),
+            summary: trace.summary(),
+        })
+    })
+}
+
 fn main() {
     let out = out_path();
     if std::env::var("STUDY_GRAPHS").is_err() {
         std::env::set_var("STUDY_GRAPHS", DEFAULT_GRAPHS);
     }
+    // The baseline's batched dimension defaults to width 8 so the
+    // amortization numbers exist without configuration; the serial cells
+    // above never read the width, so the paper-faithful numbers are
+    // untouched. `STUDY_BATCH=1` pins the batched cells to the
+    // serial-identical width.
+    if std::env::var("STUDY_BATCH").is_err() {
+        std::env::set_var("STUDY_BATCH", "8");
+    }
+    let batch_width = study_core::batch_width_from_env();
     let scale = bench::scale_from_env();
     let repeats = bench::repeats_from_env();
     let prepared: Vec<Arc<PreparedGraph>> = bench::prepare_graphs(scale)
@@ -209,6 +269,80 @@ fn main() {
         }
     }
 
+    // The batched dimension: k-source query cells. Per-query statuses
+    // and verification — one query's failure costs that query only.
+    for problem in BatchProblem::all() {
+        for system in System::all() {
+            for p in &prepared {
+                let sources = batch_sources(p, batch_width);
+                let outcome = run_one_batch_cell(system, problem, p, &sources, repeats);
+                let mut cell = Json::obj();
+                cell.push("problem", problem.to_string());
+                cell.push("system", system.to_string());
+                cell.push("graph", p.name.clone());
+                cell.push("batch_width", sources.len());
+                cell.push("status", outcome.status.name());
+                match outcome.value {
+                    Some(run) => {
+                        let mut queries = Vec::new();
+                        let mut ok = 0usize;
+                        for (j, result) in run.results.into_iter().enumerate() {
+                            let q = outcome_from_result(result);
+                            let mut qj = Json::obj();
+                            qj.push("source", u64::from(sources[j]));
+                            qj.push("status", q.status.name());
+                            match q.value {
+                                Some(output) => {
+                                    let verified = match verify_batch_query(
+                                        p, problem, sources[j], &output,
+                                    ) {
+                                        Ok(()) => true,
+                                        Err(e) => {
+                                            eprintln!(
+                                                "[verify] {system} {problem} {} q{j}: {e}",
+                                                p.name
+                                            );
+                                            failures += 1;
+                                            false
+                                        }
+                                    };
+                                    ok += 1;
+                                    qj.push("verified", verified);
+                                }
+                                None => {
+                                    incomplete += 1;
+                                    qj.push("error", q.error.unwrap_or_default());
+                                }
+                            }
+                            queries.push(qj);
+                        }
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {:.3}s, {} ops, {ok}/{} queries ok",
+                            p.name,
+                            run.wall.as_secs_f64(),
+                            run.summary.ops,
+                            sources.len(),
+                        );
+                        cell.push("wall_s", run.wall.as_secs_f64());
+                        cell.push("traced_wall_s", run.traced_wall.as_secs_f64());
+                        cell.push("trace", summary_json(&run.summary));
+                        cell.push("queries", queries);
+                    }
+                    None => {
+                        let error = outcome.error.unwrap_or_default();
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {} ({error})",
+                            p.name, outcome.status,
+                        );
+                        incomplete += sources.len() as u32;
+                        cell.push("error", error);
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
@@ -228,6 +362,7 @@ fn main() {
     doc.push("scale", scale.factor());
     doc.push("threads", galois_rt::threads());
     doc.push("repeats", u64::from(repeats));
+    doc.push("batch_width", batch_width);
     doc.push("graphs", graphs);
     doc.push("cells", cells);
 
@@ -236,9 +371,10 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "[baseline] wrote {out}: {} cells ({} problems x {} systems x {} graphs)",
-        Problem::all().len() * System::all().len() * prepared.len(),
+        "[baseline] wrote {out}: {} cells ({} + {} batched problems x {} systems x {} graphs, batch width {batch_width})",
+        (Problem::all().len() + BatchProblem::all().len()) * System::all().len() * prepared.len(),
         Problem::all().len(),
+        BatchProblem::all().len(),
         System::all().len(),
         prepared.len(),
     );

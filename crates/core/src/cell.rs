@@ -97,16 +97,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn outcome_of<T>(
-    result: Result<Result<T, GrbError>, Box<dyn std::any::Any + Send>>,
-) -> CellOutcome<T> {
+/// Maps one fallible result onto the `ok|failed|oom` axis — the
+/// per-query reduction of a batched cell, where each query of a
+/// [`crate::batch`] sweep carries its own `Result` and must get its own
+/// status (one query's oom must not poison its batch siblings).
+pub fn outcome_from_result<T>(result: Result<T, GrbError>) -> CellOutcome<T> {
     match result {
-        Ok(Ok(value)) => CellOutcome {
+        Ok(value) => CellOutcome {
             status: CellStatus::Ok,
             error: None,
             value: Some(value),
         },
-        Ok(Err(e)) => CellOutcome {
+        Err(e) => CellOutcome {
             status: match e {
                 GrbError::ResourceExhausted { .. } => CellStatus::Oom,
                 _ => CellStatus::Failed,
@@ -114,6 +116,14 @@ fn outcome_of<T>(
             error: Some(e.to_string()),
             value: None,
         },
+    }
+}
+
+fn outcome_of<T>(
+    result: Result<Result<T, GrbError>, Box<dyn std::any::Any + Send>>,
+) -> CellOutcome<T> {
+    match result {
+        Ok(inner) => outcome_from_result(inner),
         Err(payload) => CellOutcome {
             status: CellStatus::Failed,
             error: Some(panic_message(payload.as_ref())),

@@ -15,6 +15,9 @@
 //! * [`cell`] — the resilient-sweep isolation boundary: `catch_unwind` +
 //!   `STUDY_CELL_TIMEOUT_MS` watchdog around every (problem, system,
 //!   graph) cell, reducing failures to `ok|failed|timeout|oom`;
+//! * [`batch`] — the `STUDY_BATCH` dimension: k-source batched query
+//!   cells (msBFS / multi-seed ppr / batched sssp) with per-query
+//!   outcomes and per-query verification;
 //! * [`mod@reference`] — serial reference implementations every parallel
 //!   result is verified against;
 //! * [`verify`] — output comparisons (exact, partition-equivalence or
@@ -24,6 +27,7 @@
 //! * [`json`] — hand-rolled JSON emission (hermetic: no serde) for
 //!   `BENCH_baseline.json` and trace dumps.
 
+pub mod batch;
 pub mod cell;
 pub mod json;
 pub mod prepared;
@@ -33,7 +37,13 @@ pub mod report;
 pub mod runner;
 pub mod verify;
 
-pub use cell::{cell_timeout_from_env, run_cell, run_protected, CellOutcome, CellStatus};
+pub use batch::{
+    batch_sources, batch_width_from_env, run_batch_cell, try_run_batch, verify_batch_query,
+    BatchProblem,
+};
+pub use cell::{
+    cell_timeout_from_env, outcome_from_result, run_cell, run_protected, CellOutcome, CellStatus,
+};
 pub use json::Json;
 pub use prepared::PreparedGraph;
 pub use problem::{Problem, ProblemOutput, System, Variant};

@@ -48,6 +48,7 @@ pub mod binops;
 pub mod descriptor;
 pub mod error;
 pub mod matrix;
+pub mod multivec;
 pub mod ops;
 pub mod runtime;
 pub mod scalar;
@@ -60,6 +61,7 @@ pub use ops::KernelMode;
 pub use workspace::{set_workspace_mode, workspace_mode, WorkspaceMode};
 pub use error::GrbError;
 pub use matrix::Matrix;
+pub use multivec::MultiVector;
 pub use runtime::{GaloisRuntime, Runtime, StaticRuntime};
 pub use scalar::{Scalar, ScalarNum};
 pub use vector::Vector;

@@ -1,0 +1,147 @@
+//! Multi-column frontiers: a `Matrix` of k independent query columns.
+//!
+//! The paper evaluates single-source traversals, where one round is a
+//! sparse vector × matrix product. A service fielding k concurrent
+//! sources generalizes the frontier vector to an n × k *multi-vector* —
+//! the matrix operand of the batched `mxm` advance
+//! ([`crate::ops::mxm_frontier`]) that amortizes the adjacency traversal
+//! across queries, as GraphBLAST does on GPU.
+//!
+//! The layout is column-major: each of the k query columns ("lanes") is a
+//! complete [`Vector`] with its own sparse/dense store, so every lane
+//! keeps the exact representation the serial algorithms produce. That is
+//! what makes per-column results bit-identical to k serial runs — the
+//! batched engine amortizes *API calls and span bookkeeping*, never the
+//! per-lane numerics.
+
+use crate::error::{dim_mismatch, GrbError};
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// An n × k multi-vector: k same-sized query columns ("lanes").
+///
+/// Used as the frontier / distance / contribution operand of the batched
+/// algorithms (`lagraph::batch`). Lanes are independent: a batched op
+/// that fails on one lane (memory budget, injected fault) leaves the
+/// others untouched.
+#[derive(Debug, Clone)]
+pub struct MultiVector<T> {
+    n: usize,
+    lanes: Vec<Vector<T>>,
+}
+
+impl<T: Scalar> MultiVector<T> {
+    /// Creates an n × k multi-vector of empty lanes.
+    pub fn new(n: usize, k: usize) -> Self {
+        MultiVector {
+            n,
+            lanes: (0..k).map(|_| Vector::new(n)).collect(),
+        }
+    }
+
+    /// Wraps existing columns; all lanes must share one size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrbError::DimensionMismatch`] when two lanes disagree on
+    /// their size.
+    pub fn from_lanes(lanes: Vec<Vector<T>>) -> Result<Self, GrbError> {
+        let n = lanes.first().map_or(0, Vector::size);
+        for (j, lane) in lanes.iter().enumerate() {
+            if lane.size() != n {
+                return Err(dim_mismatch(
+                    format!("lane.size == {n}"),
+                    format!("lane {j} has size {}", lane.size()),
+                ));
+            }
+        }
+        Ok(MultiVector { n, lanes })
+    }
+
+    /// Number of rows (the shared lane size).
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns (queries in the batch).
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total explicit entries across all lanes.
+    pub fn nvals(&self) -> usize {
+        self.lanes.iter().map(Vector::nvals).sum()
+    }
+
+    /// Column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= self.width()`.
+    pub fn lane(&self, j: usize) -> &Vector<T> {
+        &self.lanes[j]
+    }
+
+    /// Column `j`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= self.width()`.
+    pub fn lane_mut(&mut self, j: usize) -> &mut Vector<T> {
+        &mut self.lanes[j]
+    }
+
+    /// All columns in order.
+    pub fn lanes(&self) -> &[Vector<T>] {
+        &self.lanes
+    }
+
+    /// Consumes the multi-vector, yielding its columns.
+    pub fn into_lanes(self) -> Vec<Vector<T>> {
+        self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_builds_empty_lanes() {
+        let m: MultiVector<u32> = MultiVector::new(5, 3);
+        assert_eq!(m.size(), 5);
+        assert_eq!(m.width(), 3);
+        assert_eq!(m.nvals(), 0);
+        assert!(m.lanes().iter().all(Vector::is_empty));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut m: MultiVector<u32> = MultiVector::new(4, 2);
+        m.lane_mut(0).set(1, 7).unwrap();
+        assert_eq!(m.lane(0).get(1), Some(7));
+        assert_eq!(m.lane(1).get(1), None);
+        assert_eq!(m.nvals(), 1);
+    }
+
+    #[test]
+    fn from_lanes_accepts_uniform_sizes() {
+        let lanes = vec![Vector::<u32>::new(3), Vector::new(3)];
+        let m = MultiVector::from_lanes(lanes).unwrap();
+        assert_eq!((m.size(), m.width()), (3, 2));
+        assert_eq!(m.into_lanes().len(), 2);
+    }
+
+    #[test]
+    fn from_lanes_rejects_ragged_sizes() {
+        let lanes = vec![Vector::<u32>::new(3), Vector::new(4)];
+        assert!(MultiVector::from_lanes(lanes).is_err());
+    }
+
+    #[test]
+    fn zero_width_is_allowed() {
+        let m: MultiVector<u64> = MultiVector::new(10, 0);
+        assert_eq!(m.width(), 0);
+        assert_eq!(m.size(), 10);
+    }
+}

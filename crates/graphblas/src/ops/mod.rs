@@ -120,6 +120,7 @@ impl OpTrace {
 }
 
 mod assign;
+mod batch;
 mod ewise;
 mod extract;
 mod kernels;
@@ -130,6 +131,7 @@ mod select;
 mod spmv;
 
 pub use assign::{apply, apply_inplace, assign_scalar};
+pub use batch::{mxm_frontier, LaneOutcome};
 pub use ewise::{ewise_add, ewise_mult};
 pub use extract::extract;
 pub use kernels::{

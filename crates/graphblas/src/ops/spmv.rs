@@ -23,21 +23,26 @@ use crate::util::{AtomicAccumulator, ParSlice};
 use crate::vector::Vector;
 use perfmon::trace::KernelChoice;
 
-/// `w<mask> = u ⊗.⊕ A` (push-style row scaling, `GrB_vxm`).
-///
-/// Iterates the explicit entries of `u`; each scales its matrix row into a
-/// shared dense accumulator under the semiring's ⊕. The (optionally
-/// complemented) mask filters which outputs are kept. With `desc.replace`
-/// the previous contents of `w` are discarded, otherwise they merge.
-///
-/// # Errors
-///
-/// Returns [`GrbError::DimensionMismatch`] when `u.size != a.nrows`,
-/// `w.size != a.ncols`, or the mask size differs from `w`;
-/// [`GrbError::ResourceExhausted`] when no kernel's projected
-/// accumulator fits the active [`super::mem_budget`] (or an injected
-/// `grb.alloc.accumulator` fault fires).
-pub fn vxm<T, M, S, R>(
+/// What one span-free lane execution reports back to the caller that
+/// owns the trace span (the [`vxm`] entry point, or the batched
+/// multi-frontier advance aggregating k lanes into one span).
+pub(crate) struct LaneRun {
+    /// Explicit entries of the input vector.
+    pub(crate) input_nnz: usize,
+    /// Accumulator footprint the executed kernel materialized.
+    pub(crate) accumulator_bytes: u64,
+    /// The kernel-selection outcome (choice + heuristic inputs).
+    pub(crate) selection: kernels::Selection,
+}
+
+/// The span-free body of [`vxm`]: dimension checks, kernel selection,
+/// the per-call fault/budget gate and the kernel dispatch for exactly
+/// one column. Shared verbatim by the serial entry point and each lane
+/// of [`super::batch::mxm_frontier`], so a batched column executes the
+/// identical code path as a serial call — including the
+/// `grb.alloc.accumulator` fault point, which therefore fires (and
+/// fails) per lane, never per batch.
+pub(crate) fn vxm_lane<T, M, S, R>(
     w: &mut Vector<T>,
     mask: Option<&Vector<M>>,
     semiring: S,
@@ -45,7 +50,7 @@ pub fn vxm<T, M, S, R>(
     a: &Matrix<T>,
     desc: &Descriptor,
     rt: R,
-) -> Result<(), GrbError>
+) -> Result<LaneRun, GrbError>
 where
     T: Scalar,
     M: Scalar,
@@ -72,13 +77,6 @@ where
             ));
         }
     }
-
-    let span = super::op_start(
-        super::OpKind::Vxm,
-        R::NAME,
-        mask.is_some(),
-        desc,
-    );
 
     // Materialize the input entries so the parallel loop can index them
     // (from the workspace pool when recycling is on).
@@ -178,13 +176,51 @@ where
         }
     };
     kernels::give_entries(entries, rt);
+    Ok(LaneRun {
+        input_nnz,
+        accumulator_bytes,
+        selection,
+    })
+}
+
+/// `w<mask> = u ⊗.⊕ A` (push-style row scaling, `GrB_vxm`).
+///
+/// Iterates the explicit entries of `u`; each scales its matrix row into a
+/// shared dense accumulator under the semiring's ⊕. The (optionally
+/// complemented) mask filters which outputs are kept. With `desc.replace`
+/// the previous contents of `w` are discarded, otherwise they merge.
+///
+/// # Errors
+///
+/// Returns [`GrbError::DimensionMismatch`] when `u.size != a.nrows`,
+/// `w.size != a.ncols`, or the mask size differs from `w`;
+/// [`GrbError::ResourceExhausted`] when no kernel's projected
+/// accumulator fits the active [`super::mem_budget`] (or an injected
+/// `grb.alloc.accumulator` fault fires).
+pub fn vxm<T, M, S, R>(
+    w: &mut Vector<T>,
+    mask: Option<&Vector<M>>,
+    semiring: S,
+    u: &Vector<T>,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+    rt: R,
+) -> Result<(), GrbError>
+where
+    T: Scalar,
+    M: Scalar,
+    S: SemiringOps<T>,
+    R: Runtime,
+{
+    let span = super::op_start(super::OpKind::Vxm, R::NAME, mask.is_some(), desc);
+    let run = vxm_lane(w, mask, semiring, u, a, desc, rt)?;
     if let Some(span) = span {
         span.finish_kernel(
-            input_nnz,
+            run.input_nnz,
             w.nvals(),
-            accumulator_bytes as usize,
-            &selection,
-            accumulator_bytes,
+            run.accumulator_bytes as usize,
+            &run.selection,
+            run.accumulator_bytes,
         );
     }
     Ok(())

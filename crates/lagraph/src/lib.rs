@@ -20,6 +20,7 @@
 //! | pr | [`pagerank::pagerank`] | topology-driven (`pr-gb`) |
 //! | pr | [`pagerank::pagerank_residual`] | residual-based (`pr-gb-res`) |
 //! | sssp | [`sssp::sssp_delta_stepping`] | bulk-synchronous delta-stepping (`sssp-gb`) |
+//! | sssp | [`sssp::sssp_minplus`] | bucket-free min-plus Bellman-Ford (batch serial reference) |
 //! | tc | [`tc::tc_sandia_dot`] | SandiaDot (`tc-gb` / `tc-gb-sort`) |
 //! | tc | [`tc::tc_listing`] | triangle listing on a sorted DAG (`tc-gb-ll`) |
 //!
@@ -27,8 +28,12 @@
 //! [`bfs::bfs_push_pull`] (the GraphBLAST direction optimization of the
 //! paper's related work), [`bfs::bfs_parent`] (parent-tree output),
 //! [`bc::betweenness`] (the paper's motivating application),
-//! [`kcore::kcore`] (bulk peeling) and [`mis::mis`] (Luby's rounds).
+//! [`kcore::kcore`] (bulk peeling), [`mis::mis`] (Luby's rounds),
+//! [`pagerank::ppr`] (personalized PageRank) and the batched multi-source
+//! engine [`batch`] (msBFS / multi-seed PPR / batched SSSP over a
+//! multi-column frontier, `STUDY_BATCH` in the study runner).
 
+pub mod batch;
 pub mod bc;
 pub mod bfs;
 pub mod cc;

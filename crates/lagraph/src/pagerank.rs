@@ -17,8 +17,9 @@ use graphblas::{ops, Descriptor, GrbError, Matrix, Runtime, Vector};
 pub const DAMPING: f64 = 0.85;
 
 /// Builds the dense reciprocal-out-degree vector (dangling vertices get
-/// an explicit 0 so they contribute nothing).
-fn inv_degree(g: &CsrGraph) -> Result<Vector<f64>, GrbError> {
+/// an explicit 0 so they contribute nothing). Shared with the batched
+/// multi-seed variant (`crate::batch`).
+pub(crate) fn inv_degree(g: &CsrGraph) -> Result<Vector<f64>, GrbError> {
     let n = g.num_nodes();
     let mut v = Vector::new_dense(n, 0.0);
     for i in 0..n as u32 {
@@ -53,6 +54,60 @@ pub fn pagerank<R: Runtime>(
     // Round temporaries live outside the loop so warm iterations recycle
     // their dense stores instead of reallocating them; every pass below
     // fully overwrites its output.
+    let mut contrib: Vector<f64> = Vector::new(n);
+    let mut incoming: Vector<f64> = Vector::new(n);
+    let mut next: Vector<f64> = Vector::new(n);
+    for _ in 0..iters {
+        // Pass 1: contrib = pr .* (1/deg)
+        ops::ewise_mult(&mut contrib, Times, &pr, &inv_deg, rt)?;
+        // Pass 2: incoming = contribᵀ · A (push along out-edges)
+        ops::vxm(
+            &mut incoming,
+            None::<&Vector<bool>>,
+            PlusTimes,
+            &contrib,
+            &a,
+            &Descriptor::new().with_replace(true),
+            rt,
+        )?;
+        // Pass 3: damp
+        ops::apply_inplace(&mut incoming, |x| DAMPING * x, rt);
+        // Pass 4: pr = base + damped incoming
+        ops::ewise_add(&mut next, Plus, &base, &incoming, rt)?;
+        std::mem::swap(&mut pr, &mut next);
+    }
+
+    Ok((0..n as u32).map(|i| pr.get(i).unwrap_or(0.0)).collect())
+}
+
+/// Personalized PageRank seeded at one vertex: the same four bulk passes
+/// per round as [`pagerank`], but the teleport vector is
+/// `(1-d) · e_seed` instead of uniform, so rank mass radiates from the
+/// seed. After `iters` rounds the iterate is the truncated series
+/// `Σ_{t=0..iters} d^t (Mᵀ)^t b` with `b = (1-d)·e_seed` — the quantity
+/// the batched multi-seed engine (`crate::batch::batched_ppr`) computes
+/// per column.
+///
+/// # Errors
+///
+/// Propagates [`GrbError`] from the GraphBLAS calls (only possible if
+/// `seed` is out of range, or under a memory budget / fault plan).
+pub fn ppr<R: Runtime>(
+    g: &CsrGraph,
+    seed: graph::NodeId,
+    iters: u32,
+    rt: R,
+) -> Result<Vec<f64>, GrbError> {
+    let n = g.num_nodes();
+    let a: Matrix<f64> = Matrix::from_graph(g, |_| 1.0);
+    let inv_deg = inv_degree(g)?;
+    // The sparse teleport vector: all restart mass sits on the seed.
+    let mut base: Vector<f64> = Vector::new(n);
+    base.set(seed, 1.0 - DAMPING)?;
+    let mut pr = base.clone();
+
+    // Hoisted round temporaries (see `pagerank`): each pass fully
+    // overwrites its output, so warm rounds reuse their stores.
     let mut contrib: Vector<f64> = Vector::new(n);
     let mut incoming: Vector<f64> = Vector::new(n);
     let mut next: Vector<f64> = Vector::new(n);
@@ -169,6 +224,30 @@ mod tests {
         let ss = pagerank(&g, 10, StaticRuntime).unwrap();
         let gb = pagerank(&g, 10, GaloisRuntime).unwrap();
         assert!(close(&ss, &gb, 1e-12));
+    }
+
+    #[test]
+    fn ppr_mass_decays_along_a_path() {
+        // One out-edge per vertex: pr[i] = (1-d) * d^i after >= i rounds.
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let pr = ppr(&g, 0, 10, GaloisRuntime).unwrap();
+        let expect: Vec<f64> = (0..4).map(|i| 0.15 * DAMPING.powi(i)).collect();
+        assert!(close(&pr, &expect, 1e-12), "{pr:?}");
+    }
+
+    #[test]
+    fn ppr_seed_zero_rounds_is_the_teleport_vector() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let pr = ppr(&g, 1, 0, GaloisRuntime).unwrap();
+        assert!(close(&pr, &[0.0, 0.15, 0.0], 1e-15), "{pr:?}");
+    }
+
+    #[test]
+    fn ppr_backends_agree_bitwise() {
+        let g = graph::gen::web_crawl(2, 30, 1);
+        let ss = ppr(&g, 5, 10, StaticRuntime).unwrap();
+        let gb = ppr(&g, 5, 10, GaloisRuntime).unwrap();
+        assert_eq!(ss, gb, "per-lane execution is deterministic");
     }
 
     #[test]

@@ -3,15 +3,26 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
-                                        [--expect-schema v1|v2|v3|v4]
+                                        [--expect-schema v1|v2|v3|v4|v5]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v4, "graph-api-study/bench-baseline/v4");
+``--expect-schema`` (default v5, "graph-api-study/bench-baseline/v5");
 a mismatch is a hard failure (exit 2) because the cells are not
-comparable across schema revisions. Cells are keyed by (problem, system,
-graph). For every cell present in both files the tracing-off ``wall_s``
-is compared; a slowdown beyond the threshold (default 20%) is reported
-as a regression.
+comparable across schema revisions. The two files must also have been
+generated at the same ``batch_width`` — the batched cells' wall times
+and trace counters scale with the number of queries per cell, so
+differing widths are refused with exit 2 exactly like a schema
+mismatch. Cells are keyed by (problem, system, graph). For every cell
+present in both files the tracing-off ``wall_s`` is compared; a
+slowdown beyond the threshold (default 20%) is reported as a
+regression.
+
+v5 adds the batched query cells (``bfs-batch`` / ``ppr-batch`` /
+``sssp-batch``): each carries a ``queries`` array with one
+``status`` + ``verified`` entry per source. A query that was ok in the
+baseline but non-ok now, or that completes unverified, is a hard ERROR
+(one query's regression must be visible even when its batch siblings
+still pass).
 
 v3 cells carry a ``status`` (``ok|failed|timeout|oom``; absent means
 ``ok``). A cell that was ok in the baseline but non-ok in the current
@@ -42,8 +53,8 @@ hot loops. The gate only applies when both files ran with the same
 
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
 or malformed input or a frontier materialization rise or an alloc churn
-rise on a workspace-gated cell or an ok->non-ok status regression,
-2 schema mismatch.
+rise on a workspace-gated cell or an ok->non-ok status regression (cell
+or per-query), 2 schema or batch_width mismatch.
 """
 
 import json
@@ -54,8 +65,9 @@ SCHEMAS = {
     "v2": "graph-api-study/bench-baseline/v2",
     "v3": "graph-api-study/bench-baseline/v3",
     "v4": "graph-api-study/bench-baseline/v4",
+    "v5": "graph-api-study/bench-baseline/v5",
 }
-DEFAULT_SCHEMA = "v4"
+DEFAULT_SCHEMA = "v5"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -132,6 +144,16 @@ def main(argv):
         )
         return 2
 
+    if base.get("batch_width") != cur.get("batch_width"):
+        print(
+            f"error: batch_width mismatch: {base_path} has "
+            f"{base.get('batch_width')!r}, {cur_path} has "
+            f"{cur.get('batch_width')!r}; batched cells are not comparable "
+            "across widths (regenerate with the same STUDY_BATCH)",
+            file=sys.stderr,
+        )
+        return 2
+
     base_cells = {key(c): c for c in base["cells"]}
     cur_cells = {key(c): c for c in cur["cells"]}
     comparable = base.get("scale") == cur.get("scale")
@@ -181,7 +203,25 @@ def main(argv):
                 "re-baseline to lock the recovery in"
             )
             continue
-        if not c.get("verified", False):
+        if "queries" in c or "queries" in b:
+            # Batched cell: verification is per query, and one query's
+            # regression must surface even when its siblings pass.
+            base_queries = b.get("queries", [])
+            for j, cq in enumerate(c.get("queries", [])):
+                bq = base_queries[j] if j < len(base_queries) else {}
+                cq_status = cq.get("status", "ok")
+                if cq_status != "ok":
+                    if bq.get("status", "ok") == "ok":
+                        errors.append(
+                            f"{name} query {j}: was ok in {base_path} but is "
+                            f"now {cq_status} "
+                            f"({cq.get('error', 'no error recorded')})"
+                        )
+                    else:
+                        notes.append(f"{name} query {j}: still {cq_status}")
+                elif not cq.get("verified", False):
+                    errors.append(f"{name} query {j}: current run is not verified")
+        elif not c.get("verified", False):
             errors.append(f"{name}: current run is not verified")
         if not comparable:
             continue

@@ -10,7 +10,10 @@
 use graph_api_study::galois_rt::ThreadPool;
 use graph_api_study::graphblas::ops;
 use graph_api_study::study_core::cell::{run_cell, CellStatus};
-use graph_api_study::study_core::{verify, PreparedGraph, Problem, ProblemOutput, System};
+use graph_api_study::study_core::{
+    batch_sources, run_batch_cell, verify, verify_batch_query, BatchProblem, PreparedGraph,
+    Problem, ProblemOutput, System,
+};
 use graph_api_study::substrate::fault::{self, FaultPlan};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -158,6 +161,87 @@ fn budget_constrained_bfs_degrades_and_still_verifies() {
         "got {:?}",
         starved.error
     );
+}
+
+/// Per-query isolation under an injected allocation fault: one lane of a
+/// batched sweep ooms, its batch siblings complete bit-identically to
+/// the fault-free run.
+#[test]
+fn batched_lane_fault_never_poisons_siblings() {
+    let p = prepared();
+    let sources = batch_sources(&p, 6);
+    let clean = with_chaos_state(None, None, || {
+        run_batch_cell(System::GaloisBlas, BatchProblem::Bfs, &p, &sources)
+    });
+    assert!(
+        clean.iter().all(|o| o.status == CellStatus::Ok),
+        "fault-free batch must be all ok"
+    );
+
+    // The accumulator fault point fires once per lane advance, so nth=7
+    // victimizes exactly one deterministic lane mid-sweep.
+    let faulted = with_chaos_state(Some("grb.alloc.accumulator:nth=7"), None, || {
+        run_batch_cell(System::GaloisBlas, BatchProblem::Bfs, &p, &sources)
+    });
+    assert_eq!(faulted.len(), sources.len());
+    let victims: Vec<usize> = (0..sources.len())
+        .filter(|&j| faulted[j].status != CellStatus::Ok)
+        .collect();
+    assert_eq!(victims.len(), 1, "exactly one lane is the victim: {victims:?}");
+    let v = victims[0];
+    assert_eq!(faulted[v].status, CellStatus::Oom, "allocation fault surfaces as oom");
+    assert!(
+        faulted[v].error.as_deref().unwrap_or_default().contains("out of memory"),
+        "got {:?}",
+        faulted[v].error
+    );
+    for j in 0..sources.len() {
+        if j == v {
+            continue;
+        }
+        assert_eq!(faulted[j].status, CellStatus::Ok, "sibling {j} must be untouched");
+        assert_eq!(
+            faulted[j].value, clean[j].value,
+            "sibling {j} must match the fault-free run bit for bit"
+        );
+    }
+}
+
+/// Per-query isolation under a memory budget: a batch mixing a trivial
+/// query (isolated source, empty frontier projection) with a hub query
+/// (one frontier covering every vertex) degrades asymmetrically — the
+/// hub lane ooms on its per-column byte guard, the trivial lane
+/// completes and still verifies.
+#[test]
+fn batched_budget_oom_isolates_per_query() {
+    // Vertex 0 is isolated; vertex 1 fans out to everything else.
+    let n = 200u32;
+    let g = graph_api_study::graph::builder::from_edges(
+        n as usize,
+        (2..n).map(|i| (1u32, i)),
+    )
+    .with_random_weights(100, 3);
+    let p = Arc::new(PreparedGraph::from_graph("hub200".to_string(), g, 0, 3, 1 << 13));
+    let sources = [0u32, 1];
+
+    let outcomes = with_chaos_state(None, Some(64), || {
+        run_batch_cell(System::GaloisBlas, BatchProblem::Bfs, &p, &sources)
+    });
+    assert_eq!(outcomes[0].status, CellStatus::Ok, "error: {:?}", outcomes[0].error);
+    verify_batch_query(
+        &p,
+        BatchProblem::Bfs,
+        sources[0],
+        outcomes[0].value.as_ref().expect("ok query has a value"),
+    )
+    .expect("surviving query still verifies");
+    assert_eq!(
+        outcomes[1].status,
+        CellStatus::Oom,
+        "hub frontier cannot fit any kernel in 64 B: {:?}",
+        outcomes[1].error
+    );
+    assert!(outcomes[1].value.is_none());
 }
 
 #[test]

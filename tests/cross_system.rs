@@ -1,10 +1,14 @@
 //! Integration: every system computes verified results on every study
-//! graph shape (at test scale), and every Figure 3 algorithm variant
-//! agrees with the serial reference on those same shapes.
+//! graph shape (at test scale), every Figure 3 algorithm variant agrees
+//! with the serial reference on those same shapes, and the batched
+//! query engine agrees with the per-query Lonestar worklist runs.
 
 use graph_api_study::graph::{Scale, StudyGraph};
 use graph_api_study::study_core::runner::run_variant;
-use graph_api_study::study_core::{run, verify, PreparedGraph, Problem, System, Variant};
+use graph_api_study::study_core::{
+    batch_sources, batch_width_from_env, run, try_run_batch, verify, verify_batch_query,
+    BatchProblem, PreparedGraph, Problem, ProblemOutput, System, Variant,
+};
 
 fn check_all_problems(which: StudyGraph) {
     let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
@@ -38,6 +42,69 @@ fn check_variant_panels(which: StudyGraph) {
 fn check_shape(which: StudyGraph) {
     check_all_problems(which);
     check_variant_panels(which);
+}
+
+/// Batched matrix-API queries cross-checked against the per-query
+/// worklist runs: for every batched problem, column j of the SS and GB
+/// batched engines must agree with the Lonestar (LS) answer for source
+/// j — exactly for bfs levels and sssp distances, within the pr
+/// verification tolerance for the f64 ppr ranks — and every query must
+/// also verify against its own serial reference.
+fn check_batched_vs_lonestar(which: StudyGraph, width: usize) {
+    let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
+    let sources = batch_sources(&p, width);
+    for problem in BatchProblem::all() {
+        let ls = try_run_batch(System::Lonestar, problem, &p, &sources);
+        for system in [System::SuiteSparse, System::GaloisBlas] {
+            let batched = try_run_batch(system, problem, &p, &sources);
+            assert_eq!(batched.len(), sources.len());
+            for (j, result) in batched.iter().enumerate() {
+                let out = result.as_ref().unwrap_or_else(|e| {
+                    panic!("{system} {problem} on {} query {j}: {e}", p.name)
+                });
+                let expected = ls[j].as_ref().unwrap();
+                match (out, expected) {
+                    (ProblemOutput::Ranks(a), ProblemOutput::Ranks(b)) => {
+                        for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                            assert!(
+                                (x - y).abs() <= 1e-10 * y.abs().max(1.0),
+                                "{system} {problem} on {} query {j} vertex {v}: {x} vs {y}",
+                                p.name
+                            );
+                        }
+                    }
+                    (a, b) => assert_eq!(
+                        a, b,
+                        "{system} {problem} on {} query {j} disagrees with LS",
+                        p.name
+                    ),
+                }
+                verify_batch_query(&p, problem, sources[j], out).unwrap_or_else(|e| {
+                    panic!("{system} {problem} on {} query {j}: {e}", p.name)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_queries_agree_with_lonestar_per_query() {
+    // Honor STUDY_BATCH (the CI batch matrix pins 1 and 8); off-CI the
+    // default env width is 1, so also sweep a >1 width to keep the
+    // multi-lane path covered by a plain `cargo test`.
+    let mut widths = vec![batch_width_from_env()];
+    if !widths.contains(&5) {
+        widths.push(5);
+    }
+    for width in widths {
+        for which in [
+            StudyGraph::Rmat22,
+            StudyGraph::RoadUsaW,
+            StudyGraph::Indochina04,
+        ] {
+            check_batched_vs_lonestar(which, width);
+        }
+    }
 }
 
 #[test]

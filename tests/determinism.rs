@@ -14,6 +14,10 @@
 //!    scheduling-perturbed fields (timings, steals, bucket visits) are
 //!    stripped — the invariant `scripts/compare_bench.py` relies on when
 //!    it flags counter drifts.
+//! 4. The batched query engine degrades exactly to the serial engine: a
+//!    width-1 batch emits a trace whose fingerprint equals the serial
+//!    run's, and at width 8 msBFS issues strictly fewer matrix-product
+//!    spans than eight serial runs while returning bit-identical levels.
 
 use graph_api_study::galois_rt;
 use graph_api_study::graph::gen::{
@@ -136,6 +140,104 @@ fn traces_are_deterministic_across_repeated_runs() {
             assert_eq!(a.trace.dropped, 0, "{system} {problem} dropped events");
         }
     }
+}
+
+/// A width-1 batch is the serial engine, down to the trace: the same
+/// call sequence runs through the same kernels, so the fingerprints
+/// (which keep every structural span field) must be equal, not merely
+/// the outputs. The CI batch matrix leans on this when it runs the
+/// suite under `STUDY_BATCH=1`.
+#[test]
+fn width_one_batched_traces_match_serial() {
+    use graph_api_study::graph::{Scale, StudyGraph};
+    use graph_api_study::perfmon::trace::with_trace;
+    use graph_api_study::study_core::PreparedGraph;
+
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 64.0));
+    let src = p.source;
+
+    let (serial, serial_trace) =
+        with_trace(|| lagraph::bfs::bfs(&p.graph, src, GaloisRuntime).unwrap());
+    let (batched, batched_trace) =
+        with_trace(|| lagraph::batch::batched_bfs(&p.graph, &[src], GaloisRuntime));
+    assert_eq!(batched[0].as_ref().unwrap(), &serial, "bfs k=1 output");
+    assert_eq!(
+        batched_trace.fingerprint(),
+        serial_trace.fingerprint(),
+        "bfs: width-1 batched trace must be fingerprint-identical to serial"
+    );
+
+    let (serial, serial_trace) =
+        with_trace(|| lagraph::pagerank::ppr(&p.graph, src, p.pr_iters, GaloisRuntime).unwrap());
+    let (batched, batched_trace) = with_trace(|| {
+        lagraph::batch::batched_ppr(&p.graph, &[src], p.pr_iters, GaloisRuntime)
+    });
+    assert_eq!(batched[0].as_ref().unwrap(), &serial, "ppr k=1 output");
+    assert_eq!(
+        batched_trace.fingerprint(),
+        serial_trace.fingerprint(),
+        "ppr: width-1 batched trace must be fingerprint-identical to serial"
+    );
+
+    let (serial, serial_trace) =
+        with_trace(|| lagraph::sssp::sssp_minplus(&p.graph, src, GaloisRuntime).unwrap());
+    let (batched, batched_trace) =
+        with_trace(|| lagraph::batch::batched_sssp(&p.graph, &[src], GaloisRuntime));
+    assert_eq!(batched[0].as_ref().unwrap(), &serial, "sssp k=1 output");
+    assert_eq!(
+        batched_trace.fingerprint(),
+        serial_trace.fingerprint(),
+        "sssp: width-1 batched trace must be fingerprint-identical to serial"
+    );
+}
+
+/// The point of msBFS: at width 8 the levelized sweep advances all live
+/// frontiers through ONE product span per round, so the batch issues
+/// strictly fewer vxm/mxm spans than the eight serial runs it replaces —
+/// while every column stays bit-identical to the serial run from its
+/// source (amortization must never buy speed with accuracy).
+#[test]
+fn batched_msbfs_amortizes_product_spans_at_width_eight() {
+    use graph_api_study::graph::{Scale, StudyGraph};
+    use graph_api_study::perfmon::trace::{with_trace, OpKind};
+    use graph_api_study::study_core::{batch_sources, PreparedGraph};
+
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 64.0));
+    let sources = batch_sources(&p, 8);
+    assert_eq!(sources.len(), 8);
+
+    let mut serial_products = 0u64;
+    let mut serial_results = Vec::new();
+    for &src in &sources {
+        let (r, t) = with_trace(|| lagraph::bfs::bfs(&p.graph, src, GaloisRuntime).unwrap());
+        serial_products += t.summary().product_rounds;
+        serial_results.push(r);
+    }
+
+    let (batched, trace) =
+        with_trace(|| lagraph::batch::batched_bfs(&p.graph, &sources, GaloisRuntime));
+    let batched_products = trace.summary().product_rounds;
+
+    for (j, r) in batched.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().unwrap(),
+            &serial_results[j],
+            "msBFS column {j} must be bit-identical to the serial run"
+        );
+    }
+    assert!(
+        batched_products < serial_products,
+        "msBFS at k=8 must issue fewer product spans than 8 serial runs \
+         (batched {batched_products} vs serial {serial_products})"
+    );
+    // The amortized rounds surface as mxm spans (>=2 live lanes per
+    // round); the tail where one lane is left alive degrades to vxm.
+    assert!(
+        trace.count_ops(OpKind::Mxm) > 0,
+        "k=8 msBFS should aggregate live lanes into mxm spans"
+    );
 }
 
 #[test]

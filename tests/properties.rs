@@ -129,6 +129,92 @@ fn ktruss_systems_match_reference() {
     );
 }
 
+/// Tentpole invariant of the batched query engine: for every batch width
+/// k in {1, 4, 17}, on every study-graph shape, column j of batched
+/// msBFS / multi-seed PPR / batched SSSP is **bit-identical** to the
+/// serial single-source run from source j — across all three kernel
+/// modes and 1/2/8 threads. Each lane executes the serial kernel path
+/// (same call sequence, same kernel selection, same accumulation order),
+/// so even the f64 ppr ranks must match exactly, not within tolerance.
+#[test]
+fn batched_columns_are_bit_identical_to_serial() {
+    use graph_api_study::galois_rt;
+    use graph_api_study::graph::{Scale, StudyGraph};
+    use graph_api_study::graphblas::ops::{self, KernelMode};
+    use graph_api_study::study_core::{batch_sources, PreparedGraph};
+    use std::collections::HashMap;
+
+    let saved_mode = ops::kernel_mode();
+    let saved_threads = galois_rt::threads();
+    for which in [
+        StudyGraph::Rmat22,
+        StudyGraph::RoadUsaW,
+        StudyGraph::Indochina04,
+    ] {
+        let p = PreparedGraph::study(which, Scale::custom(1.0 / 256.0));
+        for mode in [KernelMode::Auto, KernelMode::Push, KernelMode::Pull] {
+            ops::set_kernel_mode(mode);
+            // Serial answers per source, computed once per (graph, mode):
+            // thread count cannot change them (the determinism suite pins
+            // that), so every thread sweep compares against the same bits.
+            let mut serial_bfs = HashMap::new();
+            let mut serial_ppr = HashMap::new();
+            let mut serial_sssp = HashMap::new();
+            for k in [1usize, 4, 17] {
+                let sources = batch_sources(&p, k);
+                for &src in &sources {
+                    serial_bfs.entry(src).or_insert_with(|| {
+                        lagraph::bfs::bfs(&p.graph, src, GaloisRuntime).unwrap()
+                    });
+                    serial_ppr.entry(src).or_insert_with(|| {
+                        lagraph::pagerank::ppr(&p.graph, src, p.pr_iters, GaloisRuntime)
+                            .unwrap()
+                    });
+                    serial_sssp.entry(src).or_insert_with(|| {
+                        lagraph::sssp::sssp_minplus(&p.graph, src, GaloisRuntime).unwrap()
+                    });
+                }
+                for threads in [1usize, 2, 8] {
+                    galois_rt::set_threads(threads);
+                    let ctx = |j: usize| {
+                        format!(
+                            "{which:?} k={k} mode={mode:?} threads={threads} column {j}"
+                        )
+                    };
+                    let bfs = lagraph::batch::batched_bfs(&p.graph, &sources, GaloisRuntime);
+                    let ppr = lagraph::batch::batched_ppr(
+                        &p.graph, &sources, p.pr_iters, GaloisRuntime,
+                    );
+                    let sssp =
+                        lagraph::batch::batched_sssp(&p.graph, &sources, GaloisRuntime);
+                    for (j, &src) in sources.iter().enumerate() {
+                        assert_eq!(
+                            bfs[j].as_ref().unwrap(),
+                            &serial_bfs[&src],
+                            "msBFS {}",
+                            ctx(j)
+                        );
+                        assert_eq!(
+                            ppr[j].as_ref().unwrap(),
+                            &serial_ppr[&src],
+                            "ppr {}",
+                            ctx(j)
+                        );
+                        assert_eq!(
+                            sssp[j].as_ref().unwrap(),
+                            &serial_sssp[&src],
+                            "sssp {}",
+                            ctx(j)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    ops::set_kernel_mode(saved_mode);
+    galois_rt::set_threads(saved_threads);
+}
+
 #[test]
 fn pagerank_variants_agree() {
     prop::check("pagerank_variants_agree", prop::cases(CASES), arb_graph, |g| {
