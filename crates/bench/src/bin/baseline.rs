@@ -7,7 +7,13 @@
 //! counts from one additional traced execution. A second sweep covers
 //! the batched query dimension (`bfs-batch` / `ppr-batch` /
 //! `sssp-batch` at `STUDY_BATCH` sources per cell, default 8 here) with
-//! per-query statuses and per-query verification.
+//! per-query statuses and per-query verification. A third sweep covers
+//! the streaming dimension (`bfs-inc` / `cc-inc` / `pr-inc`): each cell
+//! converges on the base graph, absorbs a deterministic stream of
+//! `STUDY_DELTA`-sized update batches through a delta graph, and reports
+//! update throughput (`edges_absorbed_per_s`) and staleness
+//! (`staleness_s`, mean wall-clock per absorbed batch), verified against
+//! a from-scratch recompute on the compacted snapshot.
 //!
 //! ```text
 //! STUDY_SCALE=0.03 cargo run -p bench --bin baseline --release
@@ -26,14 +32,21 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use study_core::cell::{cell_timeout_from_env, outcome_from_result, run_protected, CellOutcome};
+use study_core::cell::{
+    cell_timeout_from_env, outcome_from_result, run_protected, CellOutcome, CellStatus,
+};
 use study_core::{
-    batch_sources, try_run, try_run_batch, verify, verify_batch_query, BatchProblem, Json,
-    PreparedGraph, Problem, ProblemOutput, System,
+    batch_sources, try_run, try_run_batch, try_run_incremental, update_batches, verify,
+    verify_batch_query, verify_incremental, BatchProblem, IncError, IncProblem, IncrementalRun,
+    Json, PreparedGraph, Problem, ProblemOutput, System,
 };
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v5 adds `batch_width`
+/// (`compare_bench.py` hard-fails on mismatch). v6 adds `delta_batch` /
+/// `delta_compact` to the header, the streaming cells (`bfs-inc` /
+/// `cc-inc` / `pr-inc`, carrying `edges_absorbed_per_s` / `staleness_s`
+/// / `compactions`) and the delta counters (`delta_nnz` / `compactions`
+/// / `repair_frontier`) in every trace summary; v5 added `batch_width`
 /// to the header and the batched query cells (`bfs-batch` / `ppr-batch`
 /// / `sssp-batch`, each carrying a per-query `queries` array); v4 added
 /// `workspace_mode` to the header and the workspace-recycling counters
@@ -43,7 +56,10 @@ use study_core::{
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v5";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v6";
+
+/// Update batches each streaming cell absorbs (each `STUDY_DELTA` ops).
+const DELTA_BATCHES: usize = 4;
 
 /// Track allocation churn so each cell's `alloc_bytes` is meaningful —
 /// elsewhere the counters stay zero and traced runs skip the metric.
@@ -89,6 +105,9 @@ fn summary_json(s: &perfmon::trace::TraceSummary) -> Json {
     o.push("flops", s.flops);
     o.push("chunks", s.chunks);
     o.push("alloc_bytes", s.alloc_bytes);
+    o.push("delta_nnz", s.delta_nnz);
+    o.push("compactions", s.compactions);
+    o.push("repair_frontier", s.repair_frontier);
     o.push("dropped", s.dropped);
     o
 }
@@ -190,6 +209,72 @@ fn run_one_batch_cell(
     })
 }
 
+/// Everything one completed *streaming* cell reports.
+struct IncBenchRun {
+    wall: Duration,
+    traced_wall: Duration,
+    run: IncrementalRun,
+    summary: perfmon::trace::TraceSummary,
+}
+
+/// One protected streaming cell: `repeats` timed absorb-the-stream runs
+/// with tracing off plus one traced run. A recoverable delta failure
+/// (e.g. the `delta.compact.alloc` fault point) fails the cell; a
+/// crash-injected compaction panic is converted by the boundary.
+fn run_one_incremental_cell(
+    system: System,
+    problem: IncProblem,
+    p: &Arc<PreparedGraph>,
+    updates: &[graph::EdgeBatch],
+    repeats: u32,
+) -> CellOutcome<IncBenchRun> {
+    let p = Arc::clone(p);
+    let updates = updates.to_vec();
+    let out = run_protected(cell_timeout_from_env(), move || {
+        let body = || -> Result<IncBenchRun, IncError> {
+            let mut total = Duration::ZERO;
+            let mut first = None;
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let run = try_run_incremental(system, problem, &p, &updates)?;
+                total += start.elapsed();
+                first.get_or_insert(run);
+            }
+            let start = Instant::now();
+            let (traced, trace) =
+                perfmon::trace::with_trace(|| try_run_incremental(system, problem, &p, &updates));
+            traced?;
+            Ok(IncBenchRun {
+                wall: total / repeats.max(1),
+                traced_wall: start.elapsed(),
+                run: first.expect("repeats >= 1"),
+                summary: trace.summary(),
+            })
+        };
+        Ok(body())
+    });
+    match out.value {
+        Some(Ok(run)) => CellOutcome {
+            status: CellStatus::Ok,
+            error: None,
+            value: Some(run),
+        },
+        Some(Err(e)) => CellOutcome {
+            status: match e {
+                IncError::Grb(graphblas::GrbError::ResourceExhausted { .. }) => CellStatus::Oom,
+                _ => CellStatus::Failed,
+            },
+            error: Some(e.to_string()),
+            value: None,
+        },
+        None => CellOutcome {
+            status: out.status,
+            error: out.error,
+            value: None,
+        },
+    }
+}
+
 fn main() {
     let out = out_path();
     if std::env::var("STUDY_GRAPHS").is_err() {
@@ -204,6 +289,8 @@ fn main() {
         std::env::set_var("STUDY_BATCH", "8");
     }
     let batch_width = study_core::batch_width_from_env();
+    let delta_batch = study_core::delta_edges_from_env();
+    let delta_compact = graph::delta::compact_threshold_from_env();
     let scale = bench::scale_from_env();
     let repeats = bench::repeats_from_env();
     let prepared: Vec<Arc<PreparedGraph>> = bench::prepare_graphs(scale)
@@ -343,6 +430,73 @@ fn main() {
         }
     }
 
+    // The streaming dimension: each cell converges once, then absorbs a
+    // deterministic per-graph update stream (seeded by graph index, so
+    // every system of a graph absorbs the identical stream) and reports
+    // update throughput and staleness.
+    for problem in IncProblem::all() {
+        for system in System::all() {
+            for (gi, p) in prepared.iter().enumerate() {
+                let updates = update_batches(&p.graph, DELTA_BATCHES, delta_batch, gi as u64);
+                let absorbed: u64 = updates.iter().map(|b| b.len() as u64).sum();
+                let outcome = run_one_incremental_cell(system, problem, p, &updates, repeats);
+                let mut cell = Json::obj();
+                cell.push("problem", problem.to_string());
+                cell.push("system", system.to_string());
+                cell.push("graph", p.name.clone());
+                cell.push("delta_batch", delta_batch);
+                cell.push("batches", updates.len());
+                cell.push("absorbed", absorbed);
+                cell.push("status", outcome.status.name());
+                match outcome.value {
+                    Some(bench_run) => {
+                        let run = &bench_run.run;
+                        let verified = match verify_incremental(p, problem, run) {
+                            Ok(()) => true,
+                            Err(e) => {
+                                eprintln!("[verify] {system} {problem} {}: {e}", p.name);
+                                failures += 1;
+                                false
+                            }
+                        };
+                        let update_s = run.update_wall.as_secs_f64();
+                        let throughput = if update_s > 0.0 {
+                            run.absorbed as f64 / update_s
+                        } else {
+                            0.0
+                        };
+                        let staleness = update_s / run.batches.max(1) as f64;
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {:.3}s, {:.0} edges/s absorbed, {} compactions",
+                            p.name,
+                            bench_run.wall.as_secs_f64(),
+                            throughput,
+                            run.compactions,
+                        );
+                        cell.push("wall_s", bench_run.wall.as_secs_f64());
+                        cell.push("traced_wall_s", bench_run.traced_wall.as_secs_f64());
+                        cell.push("update_wall_s", update_s);
+                        cell.push("edges_absorbed_per_s", throughput);
+                        cell.push("staleness_s", staleness);
+                        cell.push("compactions", run.compactions);
+                        cell.push("verified", verified);
+                        cell.push("trace", summary_json(&bench_run.summary));
+                    }
+                    None => {
+                        let error = outcome.error.unwrap_or_default();
+                        eprintln!(
+                            "[cell] {problem} {system} {}: {} ({error})",
+                            p.name, outcome.status,
+                        );
+                        incomplete += 1;
+                        cell.push("error", error);
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
@@ -363,6 +517,8 @@ fn main() {
     doc.push("threads", galois_rt::threads());
     doc.push("repeats", u64::from(repeats));
     doc.push("batch_width", batch_width);
+    doc.push("delta_batch", delta_batch);
+    doc.push("delta_compact", delta_compact);
     doc.push("graphs", graphs);
     doc.push("cells", cells);
 
@@ -371,10 +527,13 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "[baseline] wrote {out}: {} cells ({} + {} batched problems x {} systems x {} graphs, batch width {batch_width})",
-        (Problem::all().len() + BatchProblem::all().len()) * System::all().len() * prepared.len(),
+        "[baseline] wrote {out}: {} cells ({} + {} batched + {} streaming problems x {} systems x {} graphs, batch width {batch_width}, delta batch {delta_batch})",
+        (Problem::all().len() + BatchProblem::all().len() + IncProblem::all().len())
+            * System::all().len()
+            * prepared.len(),
         Problem::all().len(),
         BatchProblem::all().len(),
+        IncProblem::all().len(),
         System::all().len(),
         prepared.len(),
     );

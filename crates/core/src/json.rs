@@ -138,10 +138,11 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Serializes a full trace — every op and loop span in completion order —
-/// as the documented dump schema (`graph-api-study/trace/v3`, which adds
-/// the workspace-recycling and allocation-churn fields to each op event
-/// on top of v2's SpMV kernel-selection fields).
+/// Serializes a full trace — every op, loop and delta span in completion
+/// order — as the documented dump schema (`graph-api-study/trace/v4`,
+/// which adds delta events — batch application, compaction, incremental
+/// repair — on top of v3's workspace-recycling and allocation-churn op
+/// fields).
 pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
     use perfmon::trace::Event;
     let mut events = Vec::new();
@@ -182,11 +183,21 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
                 o.push("threads", s.threads);
                 o.push("elapsed_ns", s.elapsed_ns);
             }
+            Event::Delta(s) => {
+                o.push("event", "delta");
+                o.push("seq", s.seq);
+                o.push("kind", s.kind.name());
+                o.push("delta_nnz", s.delta_nnz);
+                o.push("layers", s.layers);
+                o.push("touched", s.touched);
+                o.push("repair_frontier", s.repair_frontier);
+                o.push("elapsed_ns", s.elapsed_ns);
+            }
         }
         events.push(o);
     }
     let mut doc = Json::obj();
-    doc.push("schema", "graph-api-study/trace/v3");
+    doc.push("schema", "graph-api-study/trace/v4");
     doc.push("dropped", trace.dropped);
     doc.push("events", events);
     doc
@@ -287,7 +298,8 @@ mod tests {
     #[test]
     fn trace_json_emits_both_event_kinds() {
         use perfmon::trace::{
-            Event, KernelChoice, LoopKind, LoopSpan, MaskMode, OpKind, OpSpan, Trace,
+            DeltaKind, DeltaSpan, Event, KernelChoice, LoopKind, LoopSpan, MaskMode, OpKind,
+            OpSpan, Trace,
         };
         let trace = Trace {
             events: vec![
@@ -323,11 +335,24 @@ mod tests {
                     threads: 2,
                     elapsed_ns: 50,
                 }),
+                Event::Delta(DeltaSpan {
+                    seq: 2,
+                    kind: DeltaKind::Compact,
+                    delta_nnz: 7,
+                    layers: 0,
+                    touched: 5,
+                    repair_frontier: 0,
+                    elapsed_ns: 25,
+                }),
             ],
             dropped: 0,
         };
         let s = trace_json(&trace).pretty();
-        assert!(s.contains("\"schema\": \"graph-api-study/trace/v3\""));
+        assert!(s.contains("\"schema\": \"graph-api-study/trace/v4\""));
+        assert!(s.contains("\"event\": \"delta\""));
+        assert!(s.contains("\"kind\": \"compact\""));
+        assert!(s.contains("\"delta_nnz\": 7"));
+        assert!(s.contains("\"repair_frontier\": 0"));
         assert!(s.contains("\"ws_reused_bytes\": 32"));
         assert!(s.contains("\"flops\": 12"));
         assert!(s.contains("\"alloc_bytes\": 8"));

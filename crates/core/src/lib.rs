@@ -18,6 +18,10 @@
 //! * [`batch`] — the `STUDY_BATCH` dimension: k-source batched query
 //!   cells (msBFS / multi-seed ppr / batched sssp) with per-query
 //!   outcomes and per-query verification;
+//! * [`delta`] — the `STUDY_DELTA` dimension: streaming-update cells
+//!   that absorb edge batches through [`graph::DeltaGraph`] and repair
+//!   converged answers incrementally on both APIs, verified against a
+//!   from-scratch recompute on the compacted snapshot;
 //! * [`mod@reference`] — serial reference implementations every parallel
 //!   result is verified against;
 //! * [`verify`] — output comparisons (exact, partition-equivalence or
@@ -29,6 +33,7 @@
 
 pub mod batch;
 pub mod cell;
+pub mod delta;
 pub mod json;
 pub mod prepared;
 pub mod problem;
@@ -43,6 +48,10 @@ pub use batch::{
 };
 pub use cell::{
     cell_timeout_from_env, outcome_from_result, run_cell, run_protected, CellOutcome, CellStatus,
+};
+pub use delta::{
+    delta_edges_from_env, run_incremental_cell, try_run_incremental, update_batches,
+    verify_incremental, IncError, IncProblem, IncrementalRun,
 };
 pub use json::Json;
 pub use prepared::PreparedGraph;

@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod stats;
@@ -40,5 +41,6 @@ pub mod transform;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, NodeId};
+pub use delta::{DeltaGraph, EdgeBatch, EdgeUpdate};
 pub use stats::GraphStats;
 pub use suite::{Scale, StudyGraph};

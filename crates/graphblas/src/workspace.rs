@@ -33,7 +33,7 @@
 //! `STUDY_MEM_BUDGET` accounting from the resilience layer: a buffer
 //! whose retention would exceed the budget is dropped instead of pooled
 //! (the pool never errors — degraded reuse, not failure). Per-op reuse
-//! is reported on the `trace/v3` span (`ws_reused_bytes`,
+//! is reported on the op trace span (`ws_reused_bytes`,
 //! `ws_fresh_bytes`, `flops`, `chunks`).
 
 use crate::scalar::Scalar;

@@ -1,0 +1,317 @@
+//! Incremental recompute on the graph API: worklist re-push of dirty
+//! vertices over the delta graph's merged view.
+//!
+//! The graph-API counterpart of `lagraph::incremental`, and the study's
+//! API contrast in miniature: these routines traverse the
+//! [`DeltaGraph`]'s merged-view iterator **directly** — no
+//! materialization, no matrix rebuild — so the graph API's absorption
+//! cost per update batch is just the repair work itself, while the
+//! matrix API must rebuild its `Matrix` from the materialized merged
+//! graph first.
+//!
+//! * [`bfs_repair`] — CAS-min relaxation from the dirty vertices
+//!   (levels only decrease under inserts, so the unique fixed point is
+//!   the from-scratch answer; the CAS order cannot change it).
+//! * [`cc_repair`] / [`cc_scratch`] — union-repair on inserts with
+//!   union-by-minimum-root (labels stay minimum vertex ids), and the
+//!   union-everything fallback for delete batches.
+//! * [`pagerank_delta`] — residual re-seeding: scatter rounds over the
+//!   worklist of vertices with non-zero residual, warm-started from the
+//!   stale ranks. Scatter order is fixed (ascending vertex id, serial)
+//!   so the f64 sums are bit-reproducible across thread counts.
+//!
+//! Like the matrix side, delete batches are handled by the caller
+//! falling back to a cold start (`study_core::delta` owns the policy).
+
+use galois_rt::InsertBag;
+use graph::delta::DeltaGraph;
+use graph::NodeId;
+use perfmon::trace::{self, DeltaKind, DeltaSpan, Event};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use crate::bfs::DIST_INFINITY;
+use crate::pagerank::DAMPING;
+
+/// Residual tolerance of [`pagerank_delta`] (same contract as
+/// `lagraph::incremental::PR_EPS`: remaining per-entry error is at most
+/// `eps * d / (1 - d)`, far below the study's 1e-9 comparison band).
+pub const PR_EPS: f64 = 1e-12;
+
+/// Safety cap on residual rounds.
+pub const PR_MAX_ROUNDS: u32 = 10_000;
+
+/// Records the repair span every incremental routine emits.
+fn record_repair(frontier: u64, start: Instant) {
+    trace::record(Event::Delta(DeltaSpan {
+        seq: 0,
+        kind: DeltaKind::Repair,
+        delta_nnz: 0,
+        layers: 0,
+        touched: 0,
+        repair_frontier: frontier,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+    }));
+}
+
+/// Lowers `slot` to `cand` if it improves it (lock-free CAS-min).
+fn relax_min(slot: &AtomicU32, cand: u32) -> bool {
+    let mut cur = slot.load(Ordering::Relaxed);
+    while cand < cur {
+        match slot.compare_exchange_weak(cur, cand, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Repairs bfs levels (1-based, 0 = unreached) after edge inserts,
+/// re-pushing every improved vertex onto the worklist until the
+/// min-relaxation fixed point. Same `old_level`/`dirty` contract as
+/// `lagraph::incremental::bfs_repair`; a full recompute is the
+/// degenerate repair from `&[]` with `dirty = [(src, 1)]`.
+pub fn bfs_repair(delta: &DeltaGraph, old_level: &[u32], dirty: &[(NodeId, u32)]) -> Vec<u32> {
+    let start = Instant::now();
+    let n = delta.num_nodes();
+    let lvl: Vec<AtomicU32> = (0..n)
+        .map(|v| {
+            let l = old_level.get(v).copied().unwrap_or(0);
+            AtomicU32::new(if l == 0 { DIST_INFINITY } else { l })
+        })
+        .collect();
+
+    let mut curr: Vec<NodeId> = Vec::new();
+    for &(v, l) in dirty {
+        if relax_min(&lvl[v as usize], l) {
+            curr.push(v);
+        }
+    }
+    let seeded = curr.len() as u64;
+
+    while !curr.is_empty() {
+        let next = InsertBag::new();
+        galois_rt::do_all(0..curr.len(), |p| {
+            let u = curr[p];
+            let cand = lvl[u as usize].load(Ordering::Relaxed).saturating_add(1);
+            for (v, _) in delta.neighbors(u) {
+                perfmon::instr(2);
+                perfmon::touch_ref(&lvl[v as usize]);
+                if relax_min(&lvl[v as usize], cand) {
+                    next.push(v);
+                }
+            }
+        });
+        let mut next = next;
+        next.drain_into(&mut curr);
+    }
+
+    let out = lvl
+        .into_iter()
+        .map(|l| {
+            let l = l.into_inner();
+            if l == DIST_INFINITY {
+                0
+            } else {
+                l
+            }
+        })
+        .collect();
+    record_repair(seeded, start);
+    out
+}
+
+fn find(parent: &mut [u32], v: u32) -> u32 {
+    let mut v = v;
+    // Path halving, as in Afforest's compress.
+    while parent[v as usize] != v {
+        let gp = parent[parent[v as usize] as usize];
+        parent[v as usize] = gp;
+        v = gp;
+    }
+    v
+}
+
+/// Union-repair of component labels after insert-only updates: link the
+/// endpoints of every inserted edge into the old label forest (union by
+/// minimum root, so labels stay minimum vertex ids), then normalize.
+///
+/// `old_labels` may be shorter than `n` when updates grew the vertex
+/// set; new vertices start as their own component.
+pub fn cc_repair(old_labels: &[u32], inserts: &[(NodeId, NodeId)], n: usize) -> Vec<u32> {
+    let start = Instant::now();
+    let mut parent: Vec<u32> = (0..n as u32)
+        .map(|v| old_labels.get(v as usize).copied().unwrap_or(v))
+        .collect();
+    for &(u, v) in inserts {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+            parent[hi as usize] = lo;
+        }
+    }
+    for v in 0..n as u32 {
+        find(&mut parent, v);
+    }
+    let out: Vec<u32> = (0..n as u32).map(|v| parent[v as usize]).collect();
+    record_repair(inserts.len() as u64, start);
+    out
+}
+
+/// Full component recompute over the merged view (the fallback when a
+/// batch deleted edges): union every merged edge of the — symmetric —
+/// delta graph, no materialization. Labels are minimum vertex ids,
+/// matching [`cc_repair`] and `lagraph::cc`.
+pub fn cc_scratch(delta: &DeltaGraph) -> Vec<u32> {
+    let start = Instant::now();
+    let n = delta.num_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    for u in 0..n as u32 {
+        for (v, _) in delta.neighbors(u) {
+            let ru = find(&mut parent, u);
+            let rv = find(&mut parent, v);
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    for v in 0..n as u32 {
+        find(&mut parent, v);
+    }
+    let out: Vec<u32> = (0..n as u32).map(|v| parent[v as usize]).collect();
+    record_repair(n as u64, start);
+    out
+}
+
+/// Pagerank by residual re-seeding over the merged view: the worklist
+/// holds every vertex with a non-zero residual; each round folds the
+/// residuals into the ranks and scatters `d · r(u) / deg(u)` along the
+/// merged out-edges. `warm` re-seeds from stale ranks (padded with 0);
+/// `None` is a cold start. Converges to the same [`PR_EPS`] fixed point
+/// as `lagraph::incremental::pagerank_converging`.
+///
+/// Returns the converged ranks and the number of residual rounds.
+pub fn pagerank_delta(delta: &DeltaGraph, warm: Option<&[f64]>) -> (Vec<f64>, u32) {
+    let start = Instant::now();
+    let n = delta.num_nodes();
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut rank: Vec<f64> = vec![0.0; n];
+    if let Some(old) = warm {
+        rank[..old.len().min(n)].copy_from_slice(&old[..old.len().min(n)]);
+    }
+
+    // One full residual evaluation: r = base + d·S·rank - rank.
+    let mut r: Vec<f64> = vec![base; n];
+    for u in 0..n as u32 {
+        let x = rank[u as usize];
+        let deg = delta.out_degree(u);
+        if x != 0.0 && deg > 0 {
+            let c = DAMPING * x / deg as f64;
+            for (v, _) in delta.neighbors(u) {
+                perfmon::instr(2);
+                r[v as usize] += c;
+            }
+        }
+    }
+    for v in 0..n {
+        r[v] -= rank[v];
+    }
+    let frontier = r.iter().filter(|x| x.abs() > PR_EPS).count() as u64;
+
+    let mut rounds = 0u32;
+    // Scatter order is fixed (ascending vertex id, serial), so the f64
+    // sums are bit-reproducible regardless of the ambient thread count.
+    while rounds < PR_MAX_ROUNDS {
+        let worklist: Vec<u32> = (0..n as u32).filter(|&v| r[v as usize] != 0.0).collect();
+        if !worklist
+            .iter()
+            .any(|&v| r[v as usize].abs() > PR_EPS)
+        {
+            break;
+        }
+        rounds += 1;
+        let mut next = vec![0.0f64; n];
+        for &u in &worklist {
+            let ru = r[u as usize];
+            rank[u as usize] += ru;
+            let deg = delta.out_degree(u);
+            if deg > 0 {
+                let c = DAMPING * ru / deg as f64;
+                for (v, _) in delta.neighbors(u) {
+                    perfmon::instr(2);
+                    next[v as usize] += c;
+                }
+            }
+        }
+        r = next;
+    }
+
+    record_repair(frontier, start);
+    (rank, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::builder::from_edges;
+    use graph::transform::symmetrize;
+    use graph::{DeltaGraph, EdgeBatch};
+
+    #[test]
+    fn bfs_repair_from_scratch_equals_bfs() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)]);
+        let full = crate::bfs::bfs(&g, 0).level;
+        let d = DeltaGraph::with_threshold(g, 0);
+        assert_eq!(bfs_repair(&d, &[], &[(0, 1)]), full);
+    }
+
+    #[test]
+    fn bfs_repair_absorbs_an_insert_without_materializing() {
+        let g0 = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let old = crate::bfs::bfs(&g0, 0).level;
+        let mut d = DeltaGraph::with_threshold(g0, 0);
+        d.apply(&EdgeBatch::new().insert(0, 3)).unwrap();
+        let repaired = bfs_repair(&d, &old, &[(3, old[0] + 1)]);
+        let full = crate::bfs::bfs(&d.materialize(), 0).level;
+        assert_eq!(repaired, full);
+        assert_eq!(repaired[3], 2);
+    }
+
+    #[test]
+    fn union_repair_matches_afforest_labels() {
+        let g0 = symmetrize(&from_edges(6, [(0, 1), (2, 3), (4, 5)]));
+        let old = crate::cc::afforest(&g0, 2).component;
+        let g1 = symmetrize(&from_edges(6, [(0, 1), (2, 3), (4, 5), (3, 4)]));
+        let repaired = cc_repair(&old, &[(3, 4), (4, 3)], 6);
+        assert_eq!(repaired, crate::cc::afforest(&g1, 2).component);
+        assert_eq!(repaired, vec![0, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn cc_scratch_over_the_merged_view_matches_afforest() {
+        let g = symmetrize(&from_edges(8, [(0, 1), (1, 2), (4, 5), (6, 7)]));
+        let mut d = DeltaGraph::with_threshold(g, 0);
+        d.apply(&EdgeBatch::new().insert(2, 4).insert(4, 2).delete(6, 7).delete(7, 6))
+            .unwrap();
+        let labels = cc_scratch(&d);
+        assert_eq!(labels, crate::cc::afforest(&d.materialize(), 2).component);
+        assert_eq!(labels, vec![0, 0, 0, 3, 0, 0, 6, 7]);
+    }
+
+    #[test]
+    fn pagerank_fixed_point_is_start_independent() {
+        let g = graph::gen::erdos_renyi(150, 900, 4);
+        let d = DeltaGraph::with_threshold(g, 0);
+        let (cold, cold_rounds) = pagerank_delta(&d, None);
+        let garbage: Vec<f64> = (0..d.num_nodes()).map(|v| v as f64 * 1e-3).collect();
+        let (warm, _) = pagerank_delta(&d, Some(&garbage));
+        for (a, b) in cold.iter().zip(&warm) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        let (again, again_rounds) = pagerank_delta(&d, None);
+        assert_eq!(cold, again, "serial scatter must be bit-reproducible");
+        assert_eq!(cold_rounds, again_rounds);
+    }
+}

@@ -46,6 +46,7 @@ pub mod batch;
 pub mod bc;
 pub mod bfs;
 pub mod cc;
+pub mod incremental;
 pub mod kcore;
 pub mod ktruss;
 pub mod mis;

@@ -279,13 +279,58 @@ pub struct LoopSpan {
     pub elapsed_ns: u64,
 }
 
-/// A trace event: either an API call or a runtime loop.
+/// The delta-layer operation a [`DeltaSpan`] describes (trace/v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeltaKind {
+    /// One edge-update batch folded into a new delta layer.
+    Apply,
+    /// Delta layers compacted into a fresh CSR snapshot.
+    Compact,
+    /// An incremental algorithm repairing state from dirty vertices.
+    Repair,
+}
+
+impl DeltaKind {
+    /// Stable lowercase label used in trace dumps and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeltaKind::Apply => "apply",
+            DeltaKind::Compact => "compact",
+            DeltaKind::Repair => "repair",
+        }
+    }
+}
+
+/// One streaming-update operation: a batch applied to a delta graph, a
+/// compaction, or an incremental recompute's repair phase (trace/v4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSpan {
+    /// Global order of completion (assigned by [`record`]).
+    pub seq: u64,
+    /// Which delta operation.
+    pub kind: DeltaKind,
+    /// Update operations involved: batch size for an apply, total delta
+    /// edges folded for a compact, 0 for a repair.
+    pub delta_nnz: u64,
+    /// Delta layers stacked over the snapshot after the operation.
+    pub layers: u64,
+    /// Vertices whose adjacency the operation rewrote.
+    pub touched: u64,
+    /// Dirty vertices seeding an incremental repair (0 otherwise).
+    pub repair_frontier: u64,
+    /// Wall time of the operation.
+    pub elapsed_ns: u64,
+}
+
+/// A trace event: an API call, a runtime loop, or a delta operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A GraphBLAS call.
     Op(OpSpan),
     /// A runtime parallel loop.
     Loop(LoopSpan),
+    /// A streaming-update operation (trace/v4).
+    Delta(DeltaSpan),
 }
 
 impl Event {
@@ -294,6 +339,7 @@ impl Event {
         match self {
             Event::Op(s) => s.seq,
             Event::Loop(s) => s.seq,
+            Event::Delta(s) => s.seq,
         }
     }
 }
@@ -377,6 +423,10 @@ pub fn record(event: Event) {
             s.seq = seq;
             Event::Loop(s)
         }
+        Event::Delta(mut s) => {
+            s.seq = seq;
+            Event::Delta(s)
+        }
     };
     ring().lock().push(stamped);
 }
@@ -435,7 +485,7 @@ impl Trace {
     pub fn ops(&self) -> impl Iterator<Item = &OpSpan> {
         self.events.iter().filter_map(|e| match e {
             Event::Op(s) => Some(s),
-            Event::Loop(_) => None,
+            _ => None,
         })
     }
 
@@ -443,7 +493,15 @@ impl Trace {
     pub fn loops(&self) -> impl Iterator<Item = &LoopSpan> {
         self.events.iter().filter_map(|e| match e {
             Event::Loop(s) => Some(s),
-            Event::Op(_) => None,
+            _ => None,
+        })
+    }
+
+    /// The delta-operation spans, in order.
+    pub fn deltas(&self) -> impl Iterator<Item = &DeltaSpan> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Delta(s) => Some(s),
+            _ => None,
         })
     }
 
@@ -486,6 +544,11 @@ impl Trace {
                     s.loop_rounds += l.rounds;
                     s.bucket_visits += l.bucket_visits;
                 }
+                Event::Delta(d) => match d.kind {
+                    DeltaKind::Apply => s.delta_nnz += d.delta_nnz,
+                    DeltaKind::Compact => s.compactions += 1,
+                    DeltaKind::Repair => s.repair_frontier += d.repair_frontier,
+                },
             }
         }
         // A "pass" is one full parallel sweep over an operand: on the
@@ -517,6 +580,14 @@ impl Trace {
                     s.accumulator_bytes,
                 ),
                 Event::Loop(s) => format!("loop {} iters={}", s.kind.name(), s.iterations),
+                Event::Delta(s) => format!(
+                    "delta {} nnz={} layers={} touched={} frontier={}",
+                    s.kind.name(),
+                    s.delta_nnz,
+                    s.layers,
+                    s.touched,
+                    s.repair_frontier,
+                ),
             })
             .collect()
     }
@@ -564,6 +635,14 @@ pub struct TraceSummary {
     /// Transient allocator churn across all ops (0 unless the tracking
     /// allocator is installed).
     pub alloc_bytes: u64,
+    /// Update operations folded into delta layers (summed over apply
+    /// spans; 0 for static runs).
+    pub delta_nnz: u64,
+    /// Delta-layer compactions into fresh snapshots.
+    pub compactions: u64,
+    /// Dirty vertices that seeded incremental repairs (summed over
+    /// repair spans).
+    pub repair_frontier: u64,
     /// Events lost to ring eviction.
     pub dropped: u64,
 }
@@ -612,6 +691,52 @@ mod tests {
             threads: 4,
             elapsed_ns: 11,
         })
+    }
+
+    fn dl(kind: DeltaKind, nnz: u64, frontier: u64) -> Event {
+        Event::Delta(DeltaSpan {
+            seq: 0,
+            kind,
+            delta_nnz: nnz,
+            layers: 2,
+            touched: 3,
+            repair_frontier: frontier,
+            elapsed_ns: 5,
+        })
+    }
+
+    #[test]
+    fn delta_spans_aggregate_and_fingerprint() {
+        let _g = LOCK.lock().unwrap();
+        let ((), t) = with_trace(|| {
+            record(dl(DeltaKind::Apply, 64, 0));
+            record(dl(DeltaKind::Apply, 8, 0));
+            record(dl(DeltaKind::Compact, 72, 0));
+            record(dl(DeltaKind::Repair, 0, 17));
+        });
+        assert_eq!(t.deltas().count(), 4);
+        let s = t.summary();
+        assert_eq!(s.delta_nnz, 72, "apply spans sum their batch sizes");
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.repair_frontier, 17);
+        // Delta spans carry no pass semantics.
+        assert_eq!(s.passes, 0);
+        // Fingerprints keep the structural fields, drop timing.
+        let ((), b) = with_trace(|| {
+            for mut e in [
+                dl(DeltaKind::Apply, 64, 0),
+                dl(DeltaKind::Apply, 8, 0),
+                dl(DeltaKind::Compact, 72, 0),
+                dl(DeltaKind::Repair, 0, 17),
+            ] {
+                if let Event::Delta(s) = &mut e {
+                    s.elapsed_ns = 999_999;
+                }
+                record(e);
+            }
+        });
+        assert_eq!(t.fingerprint(), b.fingerprint());
+        assert!(t.fingerprint()[0].starts_with("delta apply nnz=64"));
     }
 
     #[test]

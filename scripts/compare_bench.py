@@ -3,19 +3,26 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
-                                        [--expect-schema v1|v2|v3|v4|v5]
+                                        [--expect-schema v1|v2|v3|v4|v5|v6]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v5, "graph-api-study/bench-baseline/v5");
+``--expect-schema`` (default v6, "graph-api-study/bench-baseline/v6");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. The two files must also have been
-generated at the same ``batch_width`` — the batched cells' wall times
-and trace counters scale with the number of queries per cell, so
-differing widths are refused with exit 2 exactly like a schema
-mismatch. Cells are keyed by (problem, system, graph). For every cell
-present in both files the tracing-off ``wall_s`` is compared; a
+generated at the same ``batch_width`` and ``delta_batch`` — batched
+cells' wall times scale with queries per cell, and the streaming cells'
+throughput/staleness numbers scale with the update-batch size, so a
+differing width or delta size is refused with exit 2 exactly like a
+schema mismatch. Cells are keyed by (problem, system, graph). For every
+cell present in both files the tracing-off ``wall_s`` is compared; a
 slowdown beyond the threshold (default 20%) is reported as a
 regression.
+
+v6 adds the streaming cells (``bfs-inc`` / ``cc-inc`` / ``pr-inc``),
+each carrying ``edges_absorbed_per_s`` / ``staleness_s`` /
+``compactions`` and a ``verified`` flag checked against a from-scratch
+recompute on the compacted snapshot — the existing unverified-cell gate
+covers them with no special casing.
 
 v5 adds the batched query cells (``bfs-batch`` / ``ppr-batch`` /
 ``sssp-batch``): each carries a ``queries`` array with one
@@ -54,7 +61,7 @@ hot loops. The gate only applies when both files ran with the same
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
 or malformed input or a frontier materialization rise or an alloc churn
 rise on a workspace-gated cell or an ok->non-ok status regression (cell
-or per-query), 2 schema or batch_width mismatch.
+or per-query), 2 schema, batch_width or delta_batch mismatch.
 """
 
 import json
@@ -66,8 +73,9 @@ SCHEMAS = {
     "v3": "graph-api-study/bench-baseline/v3",
     "v4": "graph-api-study/bench-baseline/v4",
     "v5": "graph-api-study/bench-baseline/v5",
+    "v6": "graph-api-study/bench-baseline/v6",
 }
-DEFAULT_SCHEMA = "v5"
+DEFAULT_SCHEMA = "v6"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -150,6 +158,16 @@ def main(argv):
             f"{base.get('batch_width')!r}, {cur_path} has "
             f"{cur.get('batch_width')!r}; batched cells are not comparable "
             "across widths (regenerate with the same STUDY_BATCH)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if base.get("delta_batch") != cur.get("delta_batch"):
+        print(
+            f"error: delta_batch mismatch: {base_path} has "
+            f"{base.get('delta_batch')!r}, {cur_path} has "
+            f"{cur.get('delta_batch')!r}; streaming cells are not comparable "
+            "across update-batch sizes (regenerate with the same STUDY_DELTA)",
             file=sys.stderr,
         )
         return 2

@@ -8,11 +8,13 @@
 //! `STUDY_CELL_TIMEOUT_MS`.
 
 use graph_api_study::galois_rt::ThreadPool;
+use graph_api_study::graph::{DeltaGraph, EdgeBatch};
 use graph_api_study::graphblas::ops;
 use graph_api_study::study_core::cell::{run_cell, CellStatus};
 use graph_api_study::study_core::{
-    batch_sources, run_batch_cell, verify, verify_batch_query, BatchProblem, PreparedGraph,
-    Problem, ProblemOutput, System,
+    batch_sources, run_batch_cell, run_incremental_cell, update_batches, verify,
+    verify_batch_query, verify_incremental, BatchProblem, IncProblem, PreparedGraph, Problem,
+    ProblemOutput, System,
 };
 use graph_api_study::substrate::fault::{self, FaultPlan};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -242,6 +244,105 @@ fn batched_budget_oom_isolates_per_query() {
         outcomes[1].error
     );
     assert!(outcomes[1].value.is_none());
+}
+
+/// A crash injected between building the fresh snapshot and swapping it
+/// in (`delta.compact.commit`) must leave the pre-compaction state fully
+/// readable: the old snapshot, every layer, the merged view and a later
+/// retry all keep working.
+#[test]
+fn compaction_crash_leaves_the_old_snapshot_readable() {
+    with_chaos_state(Some("delta.compact.commit:nth=1"), None, || {
+        let g = graph_api_study::graph::builder::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut d = DeltaGraph::with_threshold(g.clone(), 0);
+        d.apply(&EdgeBatch::new().insert(0, 3).delete(1, 2)).unwrap();
+        let merged_before: Vec<Vec<(u32, u32)>> = (0..4)
+            .map(|v| d.neighbors(v).collect())
+            .collect();
+
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.compact()));
+        let payload = hit.expect_err("first compaction must hit the injected crash");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault: delta.compact.commit"), "got {msg:?}");
+
+        // Pre-compaction state is intact and answers queries correctly.
+        assert_eq!(d.snapshot(), &g, "old snapshot untouched by the crash");
+        assert_eq!(d.layer_count(), 1, "the layer survived");
+        assert_eq!(d.compactions(), 0, "no compaction was recorded");
+        let merged_after: Vec<Vec<(u32, u32)>> = (0..4)
+            .map(|v| d.neighbors(v).collect())
+            .collect();
+        assert_eq!(merged_after, merged_before, "merged view unchanged");
+        assert_eq!(merged_after[0], vec![(1, 1), (3, 1)]);
+        assert_eq!(merged_after[1], Vec::new(), "delete still applied");
+
+        // The nth=1 trigger is spent; the retry folds cleanly.
+        d.compact().expect("second compaction succeeds");
+        assert_eq!(d.layer_count(), 0);
+        assert_eq!(d.compactions(), 1);
+        assert_eq!(d.snapshot().num_edges(), 3);
+    });
+}
+
+/// A compaction crash inside an incremental cell costs that cell —
+/// recorded `failed` with the injected message — and the next cell of
+/// the sweep completes and verifies as if nothing happened.
+#[test]
+fn compaction_crash_fails_the_cell_not_the_sweep() {
+    let p = prepared();
+    let updates = update_batches(&p.graph, 2, 12, 11);
+    with_chaos_state(Some("delta.compact.commit:nth=1"), None, || {
+        // The victim: its final forced compaction is the first commit.
+        let victim = run_incremental_cell(System::Lonestar, IncProblem::Bfs, &p, &updates);
+        assert_eq!(victim.status, CellStatus::Failed, "crash is contained to the cell");
+        let msg = victim.error.as_deref().unwrap_or_default();
+        assert!(msg.contains("injected fault: delta.compact.commit"), "got {msg:?}");
+        assert!(victim.value.is_none());
+
+        // The trigger is spent; the rest of the sweep is healthy.
+        let next = run_incremental_cell(System::Lonestar, IncProblem::Cc, &p, &updates);
+        assert!(next.is_ok(), "sibling cell must survive: {:?}", next.error);
+        verify_incremental(&p, IncProblem::Cc, &next.value.expect("ok cell has a value"))
+            .expect("sibling cell still verifies");
+    });
+}
+
+/// Seeded probabilistic compaction faults replay bit-exactly: the same
+/// plan over the same incremental sweep fires at the same hit indices
+/// and fells the same cells.
+#[test]
+fn seeded_compaction_faults_replay_bit_exact() {
+    let p = prepared();
+    let updates = update_batches(&p.graph, 3, 16, 13);
+    let plan = "seed=3;delta.compact.alloc:p=0.5";
+    let run = || {
+        with_chaos_state(Some(plan), None, || {
+            let mut statuses = Vec::new();
+            for problem in IncProblem::all() {
+                for system in System::all() {
+                    statuses.push(run_incremental_cell(system, problem, &p, &updates).status);
+                }
+            }
+            (statuses, graph_api_study::substrate::fault::firing_log())
+        })
+    };
+    let (statuses_a, log_a) = run();
+    let (statuses_b, log_b) = run();
+    assert!(!log_a.is_empty(), "p=0.5 over nine compacting cells must fire");
+    assert_eq!(log_a, log_b, "same seed must reproduce the firing sequence");
+    assert_eq!(statuses_a, statuses_b, "and therefore the same victims");
+    assert!(
+        statuses_a.contains(&CellStatus::Failed),
+        "an alloc fault surfaces as a failed cell: {statuses_a:?}"
+    );
+    assert!(
+        statuses_a.contains(&CellStatus::Ok),
+        "the sweep survives past the victims: {statuses_a:?}"
+    );
 }
 
 #[test]

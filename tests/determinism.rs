@@ -18,6 +18,11 @@
 //!    width-1 batch emits a trace whose fingerprint equals the serial
 //!    run's, and at width 8 msBFS issues strictly fewer matrix-product
 //!    spans than eight serial runs while returning bit-identical levels.
+//! 5. Streaming ingestion is replayable: absorbing the identical update
+//!    stream twice yields fingerprint-identical traces and bit-identical
+//!    compacted snapshots, and re-grouping the same ops into different
+//!    batch partitions never changes the compacted graph or the repaired
+//!    answers.
 
 use graph_api_study::galois_rt;
 use graph_api_study::graph::gen::{
@@ -238,6 +243,93 @@ fn batched_msbfs_amortizes_product_spans_at_width_eight() {
         trace.count_ops(OpKind::Mxm) > 0,
         "k=8 msBFS should aggregate live lanes into mxm spans"
     );
+}
+
+/// Streaming replay: absorbing the identical update stream twice yields
+/// fingerprint-identical traces (delta spans included — apply, compact
+/// and repair events carry their structural fields into the
+/// fingerprint) and bit-identical compacted snapshots.
+#[test]
+fn incremental_replay_is_fingerprint_identical() {
+    use graph_api_study::graph::{Scale, StudyGraph};
+    use graph_api_study::perfmon::trace::with_trace;
+    use graph_api_study::study_core::{
+        try_run_incremental, update_batches, IncProblem, PreparedGraph, System,
+    };
+
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 128.0));
+    let updates = update_batches(&p.graph, 3, 12, 21);
+    for system in System::all() {
+        for problem in IncProblem::all() {
+            let (a, trace_a) =
+                with_trace(|| try_run_incremental(system, problem, &p, &updates).unwrap());
+            let (b, trace_b) =
+                with_trace(|| try_run_incremental(system, problem, &p, &updates).unwrap());
+            assert_eq!(a.output, b.output, "{system} {problem} output");
+            assert_eq!(a.snapshot, b.snapshot, "{system} {problem} compacted snapshot");
+            assert_eq!(a.compactions, b.compactions, "{system} {problem} compactions");
+            assert_eq!(
+                trace_a.fingerprint(),
+                trace_b.fingerprint(),
+                "{system} {problem}: streaming trace fingerprints differ between runs"
+            );
+        }
+    }
+}
+
+/// Batch-partition invariance: one update stream split into different
+/// batch groupings (one 24-op batch vs 24 single-op batches) converges
+/// to the identical compacted snapshot and the same repaired answers —
+/// layering granularity must never leak into results.
+#[test]
+fn update_batch_grouping_does_not_change_results() {
+    use graph_api_study::graph::{EdgeBatch, Scale, StudyGraph};
+    use graph_api_study::study_core::{
+        try_run_incremental, update_batches, IncProblem, PreparedGraph, ProblemOutput, System,
+    };
+
+    let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 128.0));
+    let coarse = update_batches(&p.graph, 1, 24, 33);
+    let singles: Vec<EdgeBatch> = coarse[0]
+        .ops()
+        .iter()
+        .map(|&op| {
+            let mut b = EdgeBatch::new();
+            b.push(op);
+            b
+        })
+        .collect();
+    assert_eq!(singles.len(), 24);
+
+    for system in System::all() {
+        for problem in IncProblem::all() {
+            let one = try_run_incremental(system, problem, &p, &coarse)
+                .unwrap_or_else(|e| panic!("{system} {problem} coarse: {e}"));
+            let many = try_run_incremental(system, problem, &p, &singles)
+                .unwrap_or_else(|e| panic!("{system} {problem} singles: {e}"));
+            assert_eq!(
+                one.snapshot, many.snapshot,
+                "{system} {problem}: groupings must compact to the same snapshot"
+            );
+            match (&one.output, &many.output) {
+                (ProblemOutput::Ranks(a), ProblemOutput::Ranks(b)) => {
+                    // Both converged to residual 1e-12 on the same final
+                    // graph; the grouping only changes the warm starts.
+                    for (v, (x, y)) in a.iter().zip(b).enumerate() {
+                        assert!(
+                            (x - y).abs() <= 1e-9,
+                            "{system} {problem} vertex {v}: {x} vs {y}"
+                        );
+                    }
+                }
+                (a, b) => assert_eq!(
+                    a, b,
+                    "{system} {problem}: discrete answers must be grouping-independent"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,9 +1,12 @@
 //! Degenerate-input integration tests: every algorithm must handle empty
 //! graphs, single vertices, isolated sources and self loops without
-//! panicking, in both API styles.
+//! panicking, in both API styles. The streaming tests at the bottom pin
+//! the delta-layer contract on its own degenerate inputs: no-op deletes,
+//! duplicate inserts, updates naming vertices past the snapshot's max
+//! id, empty batches and malformed batch text.
 
 use graph_api_study::graph::builder::{from_edges, GraphBuilder};
-use graph_api_study::graph::CsrGraph;
+use graph_api_study::graph::{CsrGraph, DeltaGraph, EdgeBatch};
 use graph_api_study::graphblas::GaloisRuntime;
 use graph_api_study::{lagraph, lonestar};
 
@@ -110,6 +113,71 @@ fn betweenness_of_single_vertex_is_zero() {
             .centrality,
         vec![0.0]
     );
+}
+
+#[test]
+fn deleting_a_never_inserted_edge_is_a_recorded_no_op() {
+    let g = from_edges(3, [(0, 1), (1, 2)]);
+    let mut d = DeltaGraph::with_threshold(g.clone(), 0);
+    let stats = d.apply(&EdgeBatch::new().delete(2, 0)).unwrap();
+    assert_eq!(stats.missing_deletes, 1);
+    assert_eq!(stats.deleted, 0);
+    assert_eq!(d.num_edges(), 2, "merged state must be unchanged");
+    d.compact().unwrap();
+    assert_eq!(d.snapshot(), &g, "a no-op delete must compact to the original");
+}
+
+#[test]
+fn duplicate_inserts_stack_and_one_delete_removes_them_all() {
+    let g = from_edges(2, [(0, 1)]);
+    let mut d = DeltaGraph::with_threshold(g, 0);
+    let stats = d.apply(&EdgeBatch::new().insert(0, 1).insert(0, 1)).unwrap();
+    assert_eq!(stats.inserted, 2);
+    assert_eq!(d.out_degree(0), 3, "duplicate inserts are parallel edges");
+    let stats = d.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+    assert_eq!(stats.deleted, 3, "delete removes every (src, dst) occurrence");
+    assert_eq!(d.out_degree(0), 0);
+    d.compact().unwrap();
+    assert_eq!(d.snapshot().num_edges(), 0);
+}
+
+#[test]
+fn updates_past_the_snapshot_max_id_grow_the_graph() {
+    let g = from_edges(2, [(0, 1)]);
+    let mut d = DeltaGraph::with_threshold(g, 0);
+    let stats = d.apply(&EdgeBatch::new().insert(1, 5)).unwrap();
+    assert_eq!(stats.grew_nodes, 4, "ids 2..=5 appear");
+    assert_eq!(d.num_nodes(), 6);
+    let m = d.materialize();
+    assert_eq!(m.num_nodes(), 6);
+    assert_eq!(
+        lonestar::bfs::bfs(&m, 0).level,
+        vec![1, 2, 0, 0, 0, 3],
+        "traversals must see the grown vertex through the merged view"
+    );
+}
+
+#[test]
+fn empty_batches_make_no_layers_and_compaction_stays_a_no_op() {
+    let g = from_edges(3, [(0, 1), (1, 2)]);
+    let mut d = DeltaGraph::with_threshold(g.clone(), 0);
+    let stats = d.apply(&EdgeBatch::new()).unwrap();
+    assert_eq!(stats.touched, 0);
+    assert_eq!(d.layer_count(), 0, "an empty batch must not open a layer");
+    d.compact().unwrap();
+    assert_eq!(d.compactions(), 0, "compacting zero layers is free");
+    assert_eq!(d.snapshot(), &g);
+}
+
+#[test]
+fn batch_parsing_rejects_garbage_and_accepts_the_documented_forms() {
+    let batch = EdgeBatch::parse("# warmup\n+ 0 1\n+ 2 3 7\n- 1 0\n").unwrap();
+    assert_eq!(batch.len(), 3);
+    assert!(batch.has_deletes());
+    assert!(EdgeBatch::parse("* 1 2").is_err(), "unknown op marker");
+    assert!(EdgeBatch::parse("+ 1").is_err(), "missing destination");
+    assert!(EdgeBatch::parse("+ a b").is_err(), "non-numeric endpoint");
+    assert!(EdgeBatch::parse("- 1 2 3").is_err(), "deletes take no weight");
 }
 
 #[test]
