@@ -42,7 +42,14 @@ use study_core::{
 };
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v6 adds `delta_batch` /
+/// (`compare_bench.py` hard-fails on mismatch). v7 adds the
+/// thread-scaling dimension: every cell carries `threads`, the static
+/// cells are swept over [`THREAD_SWEEP`] (batched/streaming cells run
+/// once at the sweep maximum), swept cells at `t > 1` carry
+/// `speedup_vs_1t` / `scaling_efficiency` against their 1-thread
+/// sibling, and the header gains `thread_sweep` plus the
+/// `cache_geometry` block the tile planner sized itself from;
+/// v6 adds `delta_batch` /
 /// `delta_compact` to the header, the streaming cells (`bfs-inc` /
 /// `cc-inc` / `pr-inc`, carrying `edges_absorbed_per_s` / `staleness_s`
 /// / `compactions`) and the delta counters (`delta_nnz` / `compactions`
@@ -56,7 +63,14 @@ use study_core::{
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v6";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v7";
+
+/// Thread counts the static cells are swept over (the strong-scaling
+/// dimension of the paper's Figure 2). The pool is sized to the sweep
+/// maximum regardless of the host's core count so the committed file has
+/// the same shape everywhere; on narrower machines the high-thread cells
+/// honestly record oversubscription.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Update batches each streaming cell absorbs (each `STUDY_DELTA` ops).
 const DELTA_BATCHES: usize = 4;
@@ -100,6 +114,7 @@ fn summary_json(s: &perfmon::trace::TraceSummary) -> Json {
     o.push("kernel_push_sparse", s.kernel_push_sparse);
     o.push("kernel_push_dense", s.kernel_push_dense);
     o.push("kernel_pull", s.kernel_pull);
+    o.push("kernel_bitmap", s.kernel_bitmap);
     o.push("ws_reused_bytes", s.ws_reused_bytes);
     o.push("ws_fresh_bytes", s.ws_fresh_bytes);
     o.push("flops", s.flops);
@@ -124,6 +139,7 @@ fn kernel_mode_name() -> &'static str {
         graphblas::ops::KernelMode::Auto => "auto",
         graphblas::ops::KernelMode::Push => "push",
         graphblas::ops::KernelMode::Pull => "pull",
+        graphblas::ops::KernelMode::Bitmap => "bitmap",
     }
 }
 
@@ -277,6 +293,13 @@ fn run_one_incremental_cell(
 
 fn main() {
     let out = out_path();
+    // Size the pool to the sweep maximum before anything touches it, so
+    // every host produces the same set of (cell, threads) keys and
+    // compare_bench.py can refuse cross-thread comparisons soundly.
+    if std::env::var("GALOIS_MAX_THREADS").is_err() {
+        let max = THREAD_SWEEP.iter().max().copied().unwrap_or(1);
+        std::env::set_var("GALOIS_MAX_THREADS", max.to_string());
+    }
     if std::env::var("STUDY_GRAPHS").is_err() {
         std::env::set_var("STUDY_GRAPHS", DEFAULT_GRAPHS);
     }
@@ -310,51 +333,75 @@ fn main() {
     let mut cells = Vec::new();
     let mut failures = 0u32;
     let mut incomplete = 0u32;
-    for problem in Problem::all() {
-        for system in System::all() {
-            for p in &prepared {
-                let outcome = run_one_cell(system, problem, p, repeats);
-                let mut cell = Json::obj();
-                cell.push("problem", problem.to_string());
-                cell.push("system", system.to_string());
-                cell.push("graph", p.name.clone());
-                cell.push("status", outcome.status.name());
-                match outcome.value {
-                    Some(run) => {
-                        let verified = match verify::verify(p, problem, &run.output) {
-                            Ok(()) => true,
-                            Err(e) => {
-                                eprintln!("[verify] {system} {problem} {}: {e}", p.name);
-                                failures += 1;
-                                false
+    // The strong-scaling sweep: every static cell runs once per thread
+    // count, and cells above one thread report their speedup and scaling
+    // efficiency against the 1-thread sibling measured in this same run.
+    let mut wall_1t: std::collections::HashMap<(String, String, String), f64> =
+        std::collections::HashMap::new();
+    for threads in THREAD_SWEEP {
+        galois_rt::set_threads(threads);
+        for problem in Problem::all() {
+            for system in System::all() {
+                for p in &prepared {
+                    let outcome = run_one_cell(system, problem, p, repeats);
+                    let mut cell = Json::obj();
+                    cell.push("problem", problem.to_string());
+                    cell.push("system", system.to_string());
+                    cell.push("graph", p.name.clone());
+                    cell.push("threads", threads);
+                    cell.push("status", outcome.status.name());
+                    match outcome.value {
+                        Some(run) => {
+                            let verified = match verify::verify(p, problem, &run.output) {
+                                Ok(()) => true,
+                                Err(e) => {
+                                    eprintln!("[verify] {system} {problem} {}: {e}", p.name);
+                                    failures += 1;
+                                    false
+                                }
+                            };
+                            let wall = run.wall.as_secs_f64();
+                            eprintln!(
+                                "[cell] {problem} {system} {} t{threads}: {:.3}s, {} ops, {} loops",
+                                p.name,
+                                wall,
+                                run.summary.ops,
+                                run.summary.loops,
+                            );
+                            cell.push("wall_s", wall);
+                            cell.push("traced_wall_s", run.traced_wall.as_secs_f64());
+                            let sweep_key =
+                                (problem.to_string(), system.to_string(), p.name.clone());
+                            if threads == 1 {
+                                wall_1t.insert(sweep_key, wall);
+                            } else if let Some(&base) = wall_1t.get(&sweep_key) {
+                                if wall > 0.0 {
+                                    let speedup = base / wall;
+                                    cell.push("speedup_vs_1t", speedup);
+                                    cell.push("scaling_efficiency", speedup / threads as f64);
+                                }
                             }
-                        };
-                        eprintln!(
-                            "[cell] {problem} {system} {}: {:.3}s, {} ops, {} loops",
-                            p.name,
-                            run.wall.as_secs_f64(),
-                            run.summary.ops,
-                            run.summary.loops,
-                        );
-                        cell.push("wall_s", run.wall.as_secs_f64());
-                        cell.push("traced_wall_s", run.traced_wall.as_secs_f64());
-                        cell.push("verified", verified);
-                        cell.push("trace", summary_json(&run.summary));
+                            cell.push("verified", verified);
+                            cell.push("trace", summary_json(&run.summary));
+                        }
+                        None => {
+                            let error = outcome.error.unwrap_or_default();
+                            eprintln!(
+                                "[cell] {problem} {system} {} t{threads}: {} ({error})",
+                                p.name, outcome.status,
+                            );
+                            incomplete += 1;
+                            cell.push("error", error);
+                        }
                     }
-                    None => {
-                        let error = outcome.error.unwrap_or_default();
-                        eprintln!(
-                            "[cell] {problem} {system} {}: {} ({error})",
-                            p.name, outcome.status,
-                        );
-                        incomplete += 1;
-                        cell.push("error", error);
-                    }
+                    cells.push(cell);
                 }
-                cells.push(cell);
             }
         }
     }
+    // Batched and streaming dimensions run once, at the sweep maximum.
+    let full_threads = THREAD_SWEEP.iter().max().copied().unwrap_or(1);
+    galois_rt::set_threads(full_threads);
 
     // The batched dimension: k-source query cells. Per-query statuses
     // and verification — one query's failure costs that query only.
@@ -367,6 +414,7 @@ fn main() {
                 cell.push("problem", problem.to_string());
                 cell.push("system", system.to_string());
                 cell.push("graph", p.name.clone());
+                cell.push("threads", full_threads);
                 cell.push("batch_width", sources.len());
                 cell.push("status", outcome.status.name());
                 match outcome.value {
@@ -444,6 +492,7 @@ fn main() {
                 cell.push("problem", problem.to_string());
                 cell.push("system", system.to_string());
                 cell.push("graph", p.name.clone());
+                cell.push("threads", full_threads);
                 cell.push("delta_batch", delta_batch);
                 cell.push("batches", updates.len());
                 cell.push("absorbed", absorbed);
@@ -515,6 +564,18 @@ fn main() {
     );
     doc.push("scale", scale.factor());
     doc.push("threads", galois_rt::threads());
+    let sweep: Vec<Json> = THREAD_SWEEP.iter().map(|&t| Json::from(t)).collect();
+    doc.push("thread_sweep", sweep);
+    // Physical parallelism of the host, so consumers can tell a real
+    // scaling measurement from an oversubscribed one: the sweep shape is
+    // fixed at [1, 2, 4, 8] everywhere, but on a host with fewer cores
+    // than the sweep top the t>1 walls measure scheduler overhead, not
+    // scaling, and compare_bench.py's --scaling-gate stands down.
+    doc.push(
+        "host_cpus",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    doc.push("cache_geometry", study_core::cache_geometry_json());
     doc.push("repeats", u64::from(repeats));
     doc.push("batch_width", batch_width);
     doc.push("delta_batch", delta_batch);
@@ -527,11 +588,14 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "[baseline] wrote {out}: {} cells ({} + {} batched + {} streaming problems x {} systems x {} graphs, batch width {batch_width}, delta batch {delta_batch})",
-        (Problem::all().len() + BatchProblem::all().len() + IncProblem::all().len())
+        "[baseline] wrote {out}: {} cells ({} x {} threads + {} batched + {} streaming problems x {} systems x {} graphs, batch width {batch_width}, delta batch {delta_batch})",
+        (Problem::all().len() * THREAD_SWEEP.len()
+            + BatchProblem::all().len()
+            + IncProblem::all().len())
             * System::all().len()
             * prepared.len(),
         Problem::all().len(),
+        THREAD_SWEEP.len(),
         BatchProblem::all().len(),
         IncProblem::all().len(),
         System::all().len(),

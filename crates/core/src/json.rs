@@ -138,10 +138,28 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// The cache hierarchy driving the tile planner and reported in trace
+/// and bench headers: detected from sysfs, or the paper machine's
+/// Skylake constants when detection fails (`source` says which).
+pub fn cache_geometry_json() -> Json {
+    let g = perfmon::cache::geometry();
+    let mut o = Json::obj();
+    o.push("source", g.source);
+    o.push("line_bytes", perfmon::cache::LINE_BYTES);
+    o.push("l1_bytes", g.l1.bytes);
+    o.push("l1_ways", g.l1.ways);
+    o.push("l2_bytes", g.l2.bytes);
+    o.push("l2_ways", g.l2.ways);
+    o.push("l3_bytes", g.l3.bytes);
+    o.push("l3_ways", g.l3.ways);
+    o
+}
+
 /// Serializes a full trace — every op, loop and delta span in completion
-/// order — as the documented dump schema (`graph-api-study/trace/v4`,
-/// which adds delta events — batch application, compaction, incremental
-/// repair — on top of v3's workspace-recycling and allocation-churn op
+/// order — as the documented dump schema (`graph-api-study/trace/v5`,
+/// which adds a `cache_geometry` header — the hierarchy the machine
+/// reported through sysfs, or the Skylake fallback — on top of v4's
+/// delta events and v3's workspace-recycling and allocation-churn op
 /// fields).
 pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
     use perfmon::trace::Event;
@@ -197,7 +215,8 @@ pub fn trace_json(trace: &perfmon::trace::Trace) -> Json {
         events.push(o);
     }
     let mut doc = Json::obj();
-    doc.push("schema", "graph-api-study/trace/v4");
+    doc.push("schema", "graph-api-study/trace/v5");
+    doc.push("cache_geometry", cache_geometry_json());
     doc.push("dropped", trace.dropped);
     doc.push("events", events);
     doc
@@ -348,7 +367,9 @@ mod tests {
             dropped: 0,
         };
         let s = trace_json(&trace).pretty();
-        assert!(s.contains("\"schema\": \"graph-api-study/trace/v4\""));
+        assert!(s.contains("\"schema\": \"graph-api-study/trace/v5\""));
+        assert!(s.contains("\"cache_geometry\""));
+        assert!(s.contains("\"l1_bytes\""));
         assert!(s.contains("\"event\": \"delta\""));
         assert!(s.contains("\"kind\": \"compact\""));
         assert!(s.contains("\"delta_nnz\": 7"));

@@ -53,7 +53,7 @@ pub use delta::{
     delta_edges_from_env, run_incremental_cell, try_run_incremental, update_batches,
     verify_incremental, IncError, IncProblem, IncrementalRun,
 };
-pub use json::Json;
+pub use json::{cache_geometry_json, Json};
 pub use prepared::PreparedGraph;
 pub use problem::{Problem, ProblemOutput, System, Variant};
 pub use runner::{

@@ -1,0 +1,250 @@
+//! Delta-encoded (compressed) CSR column indices (the `STUDY_CSR` axis).
+//!
+//! High-locality graphs — road networks and grids — have rows whose
+//! column indices are tightly clustered, so storing each row's first
+//! column absolutely and every later column as an LEB128 varint gap
+//! shrinks the index stream well below 4 bytes/edge. Ligra+ and the
+//! log(graph) line of work show the decode cost is repaid by the memory
+//! bandwidth saved; this module adds that representation as an opt-in
+//! *cache* on [`crate::Matrix`]:
+//!
+//! * the plain `col_idx` array remains the authoritative storage, so
+//!   every paper-faithful code path is untouched — `STUDY_CSR=plain`
+//!   (the default) never builds or reads a delta stream;
+//! * under `STUDY_CSR=delta` the SpMV kernel bodies iterate rows through
+//!   the crate-internal `RowPairs` iterator, which decodes the gap
+//!   stream inline in
+//!   exactly the plain iteration order, so results are bit-identical to
+//!   the plain representation on every kernel;
+//! * rows that are not ascending (multigraph inputs keep their edge
+//!   order from the loader) cannot be gap-encoded; [`encode`] detects
+//!   any negative gap and the matrix falls back to plain iteration.
+//!
+//! The stream is rebuilt lazily per matrix and dropped by
+//! [`crate::Matrix::invalidate_transpose`] together with the cached
+//! transpose, so a structural mutation can never serve stale indices.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide CSR index representation policy (the `STUDY_CSR` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsrMode {
+    /// Plain 4-byte column indices — the paper-faithful representation.
+    #[default]
+    Plain,
+    /// Delta-encoded column indices (first column absolute, later
+    /// columns as LEB128 gaps), decoded inline in the SpMV kernels.
+    Delta,
+}
+
+/// 0 = not yet resolved from the environment.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+const MODE_PLAIN: u8 = 1;
+const MODE_DELTA: u8 = 2;
+
+/// Returns the process-wide CSR representation policy, resolving it from
+/// the `STUDY_CSR` environment variable (`plain` | `delta`) on first
+/// use. Unset defaults to [`CsrMode::Plain`].
+///
+/// # Panics
+///
+/// Panics when `STUDY_CSR` is set to an unrecognized value.
+pub fn csr_mode() -> CsrMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_PLAIN => CsrMode::Plain,
+        MODE_DELTA => CsrMode::Delta,
+        _ => {
+            let mode = match std::env::var("STUDY_CSR") {
+                Ok(v) => match v.as_str() {
+                    "plain" => CsrMode::Plain,
+                    "delta" => CsrMode::Delta,
+                    other => panic!("STUDY_CSR must be plain or delta; got {other:?}"),
+                },
+                Err(_) => CsrMode::Plain,
+            };
+            set_csr_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Overrides the process-wide CSR representation policy (takes
+/// precedence over `STUDY_CSR`).
+pub fn set_csr_mode(mode: CsrMode) {
+    let enc = match mode {
+        CsrMode::Plain => MODE_PLAIN,
+        CsrMode::Delta => MODE_DELTA,
+    };
+    MODE.store(enc, Ordering::Relaxed);
+}
+
+/// The delta-encoded column-index stream of one matrix: per-row byte
+/// offsets into a shared LEB128 gap stream.
+#[derive(Debug)]
+pub struct DeltaCols {
+    /// `offsets[r]..offsets[r + 1]` is row `r`'s byte range in `bytes`.
+    offsets: Vec<usize>,
+    /// Concatenated varints: each row's first column absolute, then
+    /// non-negative gaps (0 is legal — multigraphs repeat columns).
+    bytes: Vec<u8>,
+}
+
+impl DeltaCols {
+    /// The byte range of row `r` and the stream it indexes.
+    #[inline]
+    pub fn row(&self, r: u32) -> (&[u8], usize) {
+        let start = self.offsets[r as usize];
+        (&self.bytes[start..self.offsets[r as usize + 1]], start)
+    }
+
+    /// Total encoded bytes (for compression-ratio reporting).
+    pub fn stream_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes every row back into plain column indices (test support
+    /// and the round-trip invariant).
+    pub fn decode_all(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for r in 0..self.offsets.len() - 1 {
+            let (row, _) = self.row(r as u32);
+            let mut pos = 0;
+            let mut prev = 0u32;
+            let mut first = true;
+            while pos < row.len() {
+                let (v, next) = read_varint(row, pos);
+                pos = next;
+                prev = if first { v } else { prev + v };
+                first = false;
+                out.push(prev);
+            }
+        }
+        out
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `pos`; returns the value and the
+/// position after it.
+#[inline]
+pub(crate) fn read_varint(bytes: &[u8], mut pos: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = bytes[pos];
+        pos += 1;
+        v |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
+    }
+}
+
+/// Gap-encodes a CSR index array. Returns `None` when any row is not
+/// ascending (a negative gap cannot be represented), in which case the
+/// matrix keeps iterating the plain indices.
+pub fn encode(row_ptr: &[usize], col_idx: &[u32]) -> Option<DeltaCols> {
+    let nrows = row_ptr.len() - 1;
+    let mut offsets = Vec::with_capacity(nrows + 1);
+    let mut bytes = Vec::with_capacity(col_idx.len());
+    offsets.push(0);
+    for r in 0..nrows {
+        let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+        let mut prev: Option<u32> = None;
+        for &c in row {
+            match prev {
+                None => write_varint(&mut bytes, c),
+                Some(p) => {
+                    if c < p {
+                        return None;
+                    }
+                    write_varint(&mut bytes, c - p);
+                }
+            }
+            prev = Some(c);
+        }
+        offsets.push(bytes.len());
+    }
+    Some(DeltaCols { offsets, bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let vals = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &vals {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            let (got, next) = read_varint(&buf, pos);
+            assert_eq!(got, v);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn encode_round_trips_and_compresses_local_rows() {
+        // Grid-like locality: columns cluster around the row index.
+        let row_ptr = [0usize, 3, 3, 6];
+        let col_idx = [10u32, 11, 13, 1_000_000, 1_000_001, 1_000_002];
+        let d = encode(&row_ptr, &col_idx).expect("ascending rows encode");
+        assert_eq!(d.decode_all(), col_idx);
+        // Row 0: one absolute + two 1-byte gaps; row 2: one 5-byte
+        // absolute + two 1-byte gaps — under 4 bytes/edge overall.
+        assert!(d.stream_bytes() < col_idx.len() * 4);
+    }
+
+    #[test]
+    fn duplicate_columns_encode_as_zero_gaps() {
+        let row_ptr = [0usize, 3];
+        let col_idx = [7u32, 7, 9];
+        let d = encode(&row_ptr, &col_idx).expect("zero gaps are legal");
+        assert_eq!(d.decode_all(), col_idx);
+    }
+
+    #[test]
+    fn descending_rows_refuse_to_encode() {
+        let row_ptr = [0usize, 2];
+        let col_idx = [9u32, 3];
+        assert!(encode(&row_ptr, &col_idx).is_none());
+    }
+
+    #[test]
+    fn empty_rows_encode() {
+        let row_ptr = [0usize, 0, 1, 1];
+        let col_idx = [5u32];
+        let d = encode(&row_ptr, &col_idx).expect("empty rows encode");
+        assert_eq!(d.decode_all(), col_idx);
+        assert_eq!(d.row(0).0.len(), 0);
+        assert_eq!(d.row(2).0.len(), 0);
+    }
+
+    #[test]
+    fn mode_roundtrip_and_default() {
+        let before = csr_mode();
+        set_csr_mode(CsrMode::Delta);
+        assert_eq!(csr_mode(), CsrMode::Delta);
+        set_csr_mode(CsrMode::Plain);
+        assert_eq!(csr_mode(), CsrMode::Plain);
+        set_csr_mode(before);
+    }
+}

@@ -111,6 +111,15 @@ where
             kernels::store_entries(w, out, desc.replace);
             bytes
         }
+        KernelChoice::Bitmap => {
+            let (out, bytes) =
+                kernels::scatter_bitmap(&entries, a, a.ncols(), mask, desc, semiring, mul, rt);
+            kernels::store_entries_slice(w, &out, desc.replace);
+            if crate::workspace::enabled() {
+                rt.workspace().give_vec(crate::workspace::Shelf::Entries, out);
+            }
+            bytes
+        }
         _ => {
             // Dense accumulator over the output dimension: the
             // intermediate the paper's fixed push strategy cannot avoid.
@@ -126,24 +135,32 @@ where
                     .unwrap_or_default();
                 let (_reused, fresh) = acc.begin(a.ncols());
                 crate::workspace::note_fresh(fresh);
-                rt.parallel_for(entries.len(), |p| {
-                    let (i, x) = entries[p];
-                    perfmon::touch_ref(&entries[p]);
-                    let (cols, vals) = a.row(i);
-                    for (&j, &av) in cols.iter().zip(vals.iter()) {
-                        perfmon::instr(2);
-                        perfmon::touch_ref(&av);
-                        if let Some(m) = mask {
-                            let pass =
-                                m.mask_at(j, desc.mask_structural) != desc.mask_complement;
-                            perfmon::instr(1);
-                            if !pass {
-                                continue;
+                if let Some(tile) =
+                    super::tiling::plan(a.ncols(), std::mem::size_of::<T>())
+                {
+                    let accumulate = |j: usize, v: T| acc.accumulate(j, v, add);
+                    super::tiling::scatter_tiled(
+                        &tile, &entries, a, mask, desc, &mul, &accumulate,
+                    );
+                } else {
+                    rt.parallel_for(entries.len(), |p| {
+                        let (i, x) = entries[p];
+                        perfmon::touch_ref(&entries[p]);
+                        for (j, &av) in a.row_pairs(i) {
+                            perfmon::instr(2);
+                            perfmon::touch_ref(&av);
+                            if let Some(m) = mask {
+                                let pass =
+                                    m.mask_at(j, desc.mask_structural) != desc.mask_complement;
+                                perfmon::instr(1);
+                                if !pass {
+                                    continue;
+                                }
                             }
+                            acc.accumulate(j as usize, semiring.mul(x, av), add);
                         }
-                        acc.accumulate(j as usize, semiring.mul(x, av), add);
-                    }
-                });
+                    });
+                }
                 let mut out = ws.take_vec(crate::workspace::Shelf::Entries, 0);
                 acc.drain_into(a.ncols(), &mut out);
                 kernels::store_entries_slice(w, &out, desc.replace);
@@ -155,8 +172,7 @@ where
                 rt.parallel_for(entries.len(), |p| {
                     let (i, x) = entries[p];
                     perfmon::touch_ref(&entries[p]);
-                    let (cols, vals) = a.row(i);
-                    for (&j, &av) in cols.iter().zip(vals.iter()) {
+                    for (j, &av) in a.row_pairs(i) {
                         perfmon::instr(2);
                         perfmon::touch_ref(&av);
                         if let Some(m) = mask {
@@ -320,6 +336,26 @@ where
             store_accumulator(w, acc, desc.replace || mask.is_none());
             bytes
         }
+        KernelChoice::Bitmap => {
+            let entries = kernels::take_entries(u, rt);
+            let mul = |x, av| semiring.mul(av, x);
+            let (out, bytes) = kernels::scatter_bitmap(
+                &entries,
+                a.transpose(),
+                n,
+                mask,
+                desc,
+                semiring,
+                mul,
+                rt,
+            );
+            kernels::give_entries(entries, rt);
+            kernels::store_entries_slice(w, &out, desc.replace || mask.is_none());
+            if crate::workspace::enabled() {
+                rt.workspace().give_vec(crate::workspace::Shelf::Entries, out);
+            }
+            bytes
+        }
         _ => {
             // Paper-faithful pull: dense value + presence buffers over
             // the output dimension are the kernel's materialization.
@@ -338,6 +374,21 @@ where
             {
                 let pv = ParSlice::new(&mut vals);
                 let pp = ParSlice::new(&mut present);
+                if let Some(tile) =
+                    super::tiling::plan(a.ncols(), std::mem::size_of::<T>() + 1)
+                {
+                    let mul = |x, av| semiring.mul(av, x);
+                    // SAFETY: one writer per row — each row belongs to
+                    // exactly one tile task.
+                    let emit = |i: u32, acc: T| unsafe {
+                        perfmon::touch(pv.addr_of(i as usize));
+                        pv.write(i as usize, acc);
+                        pp.write(i as usize, true);
+                    };
+                    super::tiling::pull_rows_tiled(
+                        &tile, u, a, mask, desc, semiring, &mul, false, &emit,
+                    );
+                } else {
                 rt.parallel_for_balanced(n, |i| a.row_nvals(i as u32) as u64 + 1, |i| {
                     if let Some(m) = mask {
                         perfmon::instr(1);
@@ -347,10 +398,9 @@ where
                             return;
                         }
                     }
-                    let (cols, avals) = a.row(i as u32);
                     let mut acc = semiring.add_identity();
                     let mut any = false;
-                    for (&k, &av) in cols.iter().zip(avals.iter()) {
+                    for (k, &av) in a.row_pairs(i as u32) {
                         perfmon::instr(2);
                         perfmon::touch_ref(&av);
                         let x = match udense {
@@ -374,6 +424,7 @@ where
                         }
                     }
                 });
+                }
             }
 
             if overwrite {
@@ -574,6 +625,42 @@ mod tests {
         .unwrap();
         assert_eq!(w.get(0), Some(2), "masked row recomputed");
         assert_eq!(w.get(3), Some(42), "unmasked entry kept");
+    }
+
+    #[test]
+    fn bitmap_hint_matches_default_kernels() {
+        let a = path_matrix();
+        let u = Vector::from_entries(4, vec![(0, 1u32)]).unwrap();
+        let mut w_bitmap: Vector<u32> = Vector::new(4);
+        vxm(
+            &mut w_bitmap,
+            None::<&Vector<u32>>,
+            LorLand,
+            &u,
+            &a,
+            &Descriptor::new()
+                .with_replace(true)
+                .with_kernel(crate::descriptor::KernelHint::Bitmap),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(w_bitmap.entries(), vec![(1, 1), (2, 1)]);
+
+        let ud = Vector::new_dense(4, 1u32);
+        let mut w: Vector<u32> = Vector::new(4);
+        mxv(
+            &mut w,
+            None::<&Vector<u32>>,
+            PlusTimes,
+            &a,
+            &ud,
+            &Descriptor::new().with_kernel(crate::descriptor::KernelHint::Bitmap),
+            GaloisRuntime,
+        )
+        .unwrap();
+        assert_eq!(w.get(0), Some(2));
+        assert_eq!(w.get(2), Some(1));
+        assert_eq!(w.get(3), None);
     }
 
     #[test]

@@ -210,6 +210,7 @@ fn hint_of(choice: KernelChoice) -> KernelHint {
         KernelChoice::PushSparse => KernelHint::PushSparse,
         KernelChoice::PushDense => KernelHint::PushDense,
         KernelChoice::Pull => KernelHint::Pull,
+        KernelChoice::Bitmap => KernelHint::Bitmap,
         KernelChoice::Unspecified => panic!("selection must name a concrete kernel"),
     }
 }
@@ -231,7 +232,7 @@ fn assert_spmv_kernels_agree<S: SemiringOps<u64>>(
         w.entries()
     };
     let base = run_vxm(KernelHint::PushDense);
-    for hint in [KernelHint::PushSparse, KernelHint::Pull] {
+    for hint in [KernelHint::PushSparse, KernelHint::Pull, KernelHint::Bitmap] {
         prop_assert_eq!(run_vxm(hint), base.clone(), "{} vxm {:?}", name, hint);
     }
     prop_assert_eq!(run_vxm(KernelHint::Auto), base.clone(), "{} vxm auto", name);
@@ -250,7 +251,11 @@ fn assert_spmv_kernels_agree<S: SemiringOps<u64>>(
         w.entries()
     };
     let base = run_mxv(KernelHint::Pull);
-    for hint in [KernelHint::PushSparse, KernelHint::PushDense] {
+    for hint in [
+        KernelHint::PushSparse,
+        KernelHint::PushDense,
+        KernelHint::Bitmap,
+    ] {
         prop_assert_eq!(run_mxv(hint), base.clone(), "{} mxv {:?}", name, hint);
     }
     prop_assert_eq!(run_mxv(KernelHint::Auto), base.clone(), "{} mxv auto", name);
@@ -301,6 +306,124 @@ fn kernels_agree_under_every_semiring_and_descriptor() {
             Ok(())
         },
     );
+}
+
+/// The `(vxm entries, mxv entries)` expectation pair shared across
+/// kernel hints.
+type OpExpectations = (Vec<(u32, u64)>, Vec<(u32, u64)>);
+
+/// Runs one (semiring, mask, descriptor) combination under every forced
+/// kernel hint plus `auto`, on both ops, and asserts the entries are
+/// bit-identical to `expect` — one expectation per op, since `vxm` and
+/// `mxv` are different products under a non-commutative ⊗ — building
+/// the expectations on the first call.
+#[allow(clippy::too_many_arguments)]
+fn assert_spmv_kernels_agree_with<S: SemiringOps<u64>>(
+    name: &str,
+    threads: usize,
+    semiring: S,
+    a: &Matrix<u64>,
+    u: &Vector<u64>,
+    m: Option<&Vector<u64>>,
+    desc: Descriptor,
+    expect: &mut Option<OpExpectations>,
+) -> Result<(), String> {
+    const HINTS: [KernelHint; 5] = [
+        KernelHint::PushDense,
+        KernelHint::PushSparse,
+        KernelHint::Pull,
+        KernelHint::Bitmap,
+        KernelHint::Auto,
+    ];
+    let mut seed: Option<OpExpectations> = None;
+    for hint in HINTS {
+        let mut w: Vector<u64> = Vector::new(N);
+        ops::vxm(&mut w, m, semiring, u, a, &desc.with_kernel(hint), GaloisRuntime).unwrap();
+        let vxm_got = w.entries();
+        let mut w: Vector<u64> = Vector::new(N);
+        ops::mxv(&mut w, m, semiring, a, u, &desc.with_kernel(hint), StaticRuntime).unwrap();
+        let mxv_got = w.entries();
+        match expect.as_ref().or(seed.as_ref()) {
+            None => seed = Some((vxm_got, mxv_got)),
+            Some((ev, em)) => {
+                prop_assert_eq!(
+                    vxm_got,
+                    ev.clone(),
+                    "{} vxm {:?} at {} threads",
+                    name,
+                    hint,
+                    threads
+                );
+                prop_assert_eq!(
+                    mxv_got,
+                    em.clone(),
+                    "{} mxv {:?} at {} threads",
+                    name,
+                    hint,
+                    threads
+                );
+            }
+        }
+    }
+    if expect.is_none() {
+        *expect = seed;
+    }
+    Ok(())
+}
+
+#[test]
+fn kernels_agree_across_thread_counts() {
+    // The kernel-equivalence invariant must also be insensitive to the
+    // worker count: bitmap-forced, push-forced, pull-forced and auto
+    // runs produce bit-identical entries at 1, 2 and 8 threads, on every
+    // study semiring x descriptor combination — compared against one
+    // expectation shared across the whole sweep, so the check is
+    // cross-thread, not merely intra-thread.
+    let saved_threads = galois_rt::threads();
+    prop::check(
+        "kernels_agree_across_thread_counts",
+        prop::cases(8),
+        |g| (arb_matrix(g), arb_vector(g), arb_mask(g)),
+        |(a, u, mask)| {
+            for masked in [false, true] {
+                for complement in [false, true] {
+                    for replace in [false, true] {
+                        for structural in [false, true] {
+                            if !masked && (complement || structural) {
+                                continue;
+                            }
+                            let desc = Descriptor::new()
+                                .with_mask_complement(complement)
+                                .with_replace(replace)
+                                .with_mask_structural(structural);
+                            let m: Option<&Vector<u64>> = masked.then_some(mask);
+                            let mut e_pt = None;
+                            let mut e_mp = None;
+                            let mut e_ll = None;
+                            let mut e_ms = None;
+                            for threads in [1usize, 2, 8] {
+                                galois_rt::set_threads(threads);
+                                assert_spmv_kernels_agree_with(
+                                    "plus_times", threads, PlusTimes, a, u, m, desc, &mut e_pt,
+                                )?;
+                                assert_spmv_kernels_agree_with(
+                                    "min_plus", threads, MinPlus, a, u, m, desc, &mut e_mp,
+                                )?;
+                                assert_spmv_kernels_agree_with(
+                                    "lor_land", threads, LorLand, a, u, m, desc, &mut e_ll,
+                                )?;
+                                assert_spmv_kernels_agree_with(
+                                    "min_second", threads, MinSecond, a, u, m, desc, &mut e_ms,
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    galois_rt::set_threads(saved_threads);
 }
 
 /// Collects the vxm/mxv outputs for one semiring across every

@@ -1,14 +1,142 @@
 //! Three-level set-associative LRU cache model.
 //!
-//! Geometry mirrors the paper's Intel Xeon Gold 5120 (Skylake-SP):
-//! 32 KiB / 8-way L1D, 1 MiB / 16-way L2, and a 1.375 MiB / 11-way L3
-//! slice per core, all with 64-byte lines. The model is per-thread (each
-//! thread sees its own slice hierarchy), which is the right granularity
-//! for the access-count *ratios* Tables IV and V analyse.
+//! The default geometry mirrors the paper's Intel Xeon Gold 5120
+//! (Skylake-SP): 32 KiB / 8-way L1D, 1 MiB / 16-way L2, and a 1.375 MiB /
+//! 11-way L3 slice per core, all with 64-byte lines. [`geometry`]
+//! additionally probes the real machine through
+//! `/sys/devices/system/cpu/cpu0/cache/` and, when every level parses and
+//! sanitizes (64-byte lines, set counts a power of two), the model and
+//! the cache-blocking tile planner use the detected sizes instead; any
+//! anomaly falls back to the Skylake constants so hermetic environments
+//! (containers, CI runners that hide sysfs) stay deterministic. The model
+//! is per-thread (each thread sees its own slice hierarchy), which is the
+//! right granularity for the access-count *ratios* Tables IV and V
+//! analyse.
+
+use std::sync::OnceLock;
 
 /// Cache line size in bytes (and the shift used to derive line addresses).
 pub const LINE_BYTES: usize = 64;
 const LINE_SHIFT: u32 = 6;
+
+/// One level's capacity and associativity, as fed to [`CacheLevel::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelGeometry {
+    /// Total capacity in bytes.
+    pub bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl LevelGeometry {
+    /// A geometry is usable only if it yields a valid [`CacheLevel`]:
+    /// whole lines, lines divisible into ways, a power-of-two set count.
+    fn sane(self) -> bool {
+        let lines = self.bytes / LINE_BYTES;
+        self.ways > 0
+            && self.bytes.is_multiple_of(LINE_BYTES)
+            && lines.is_multiple_of(self.ways)
+            && (lines / self.ways).is_power_of_two()
+    }
+}
+
+/// The three-level geometry the simulator and the tile planner share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// L1 data cache.
+    pub l1: LevelGeometry,
+    /// Unified L2.
+    pub l2: LevelGeometry,
+    /// L3 slice per core.
+    pub l3: LevelGeometry,
+    /// `"sysfs"` when detected from the machine, `"skylake"` otherwise.
+    pub source: &'static str,
+}
+
+impl CacheGeometry {
+    /// The paper machine's per-core geometry (see module docs).
+    pub const fn skylake() -> Self {
+        CacheGeometry {
+            l1: LevelGeometry { bytes: 32 << 10, ways: 8 },
+            l2: LevelGeometry { bytes: 1 << 20, ways: 16 },
+            // 1.375 MiB 11-way slice: 22528 lines = 2048 sets * 11 ways.
+            l3: LevelGeometry { bytes: 22528 * LINE_BYTES, ways: 11 },
+            source: "skylake",
+        }
+    }
+}
+
+/// Parses a sysfs cache size string (`"32K"`, `"1024K"`, `"2M"`).
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
+}
+
+/// Reads one `cpu0/cache/indexN` directory into a candidate level.
+/// Returns the level number alongside so callers can slot it.
+fn read_index(dir: &std::path::Path) -> Option<(u32, &'static str, LevelGeometry)> {
+    let read = |f: &str| std::fs::read_to_string(dir.join(f)).ok();
+    let level: u32 = read("level")?.trim().parse().ok()?;
+    let ty = read("type")?;
+    let ty: &'static str = match ty.trim() {
+        "Data" => "Data",
+        "Unified" => "Unified",
+        _ => return None, // instruction caches don't serve loads
+    };
+    let bytes = parse_size(&read("size")?)?;
+    let ways: usize = read("ways_of_associativity")?.trim().parse().ok()?;
+    let line: usize = read("coherency_line_size")?.trim().parse().ok()?;
+    if line != LINE_BYTES {
+        return None; // the model's line shift is fixed at 64 B
+    }
+    Some((level, ty, LevelGeometry { bytes, ways }))
+}
+
+/// Probes `/sys/devices/system/cpu/cpu0/cache/`. Returns `None` unless
+/// all three levels are present, parse, and sanitize.
+fn detect_sysfs(root: &std::path::Path) -> Option<CacheGeometry> {
+    let mut l1 = None;
+    let mut l2 = None;
+    let mut l3 = None;
+    for entry in std::fs::read_dir(root).ok()? {
+        let path = entry.ok()?.path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("index"))
+        {
+            continue;
+        }
+        match read_index(&path) {
+            Some((1, "Data", g)) => l1 = Some(g),
+            Some((2, _, g)) => l2 = Some(g),
+            Some((3, _, g)) => l3 = Some(g),
+            _ => {}
+        }
+    }
+    let (l1, l2, l3) = (l1?, l2?, l3?);
+    if l1.sane() && l2.sane() && l3.sane() {
+        Some(CacheGeometry { l1, l2, l3, source: "sysfs" })
+    } else {
+        None
+    }
+}
+
+/// The process-wide cache geometry: detected from sysfs once, falling
+/// back to [`CacheGeometry::skylake`] when the machine hides or reports
+/// an unusable hierarchy.
+pub fn geometry() -> &'static CacheGeometry {
+    static GEOMETRY: OnceLock<CacheGeometry> = OnceLock::new();
+    GEOMETRY.get_or_init(|| {
+        detect_sysfs(std::path::Path::new("/sys/devices/system/cpu/cpu0/cache"))
+            .unwrap_or_else(CacheGeometry::skylake)
+    })
+}
 
 /// One set-associative level with LRU replacement.
 #[derive(Debug, Clone)]
@@ -95,12 +223,21 @@ pub enum HitLevel {
 impl CacheSim {
     /// Skylake-SP per-core geometry (see module docs).
     pub fn skylake() -> Self {
+        CacheSim::with_geometry(&CacheGeometry::skylake())
+    }
+
+    /// A simulator over an explicit [`CacheGeometry`].
+    pub fn with_geometry(g: &CacheGeometry) -> Self {
         CacheSim {
-            l1: CacheLevel::new(32 << 10, 8),
-            l2: CacheLevel::new(1 << 20, 16),
-            // 1.375 MiB 11-way slice: 22528 lines = 2048 sets * 11 ways.
-            l3: CacheLevel::new(22528 * LINE_BYTES, 11),
+            l1: CacheLevel::new(g.l1.bytes, g.l1.ways),
+            l2: CacheLevel::new(g.l2.bytes, g.l2.ways),
+            l3: CacheLevel::new(g.l3.bytes, g.l3.ways),
         }
+    }
+
+    /// A simulator over the machine's detected geometry ([`geometry`]).
+    pub fn detected() -> Self {
+        CacheSim::with_geometry(geometry())
     }
 
     /// Simulates one byte-address access and reports the serving level.
@@ -205,5 +342,45 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         CacheLevel::new(3 * LINE_BYTES, 1);
+    }
+
+    #[test]
+    fn sysfs_sizes_parse() {
+        assert_eq!(parse_size("32K"), Some(32 << 10));
+        assert_eq!(parse_size("1024K\n"), Some(1 << 20));
+        assert_eq!(parse_size("2M"), Some(2 << 20));
+        assert_eq!(parse_size("65536"), Some(65536));
+        assert_eq!(parse_size("junk"), None);
+    }
+
+    #[test]
+    fn missing_sysfs_falls_back_hermetically() {
+        assert_eq!(
+            detect_sysfs(std::path::Path::new("/nonexistent/cache/root")),
+            None
+        );
+    }
+
+    #[test]
+    fn detected_geometry_always_builds_a_simulator() {
+        // Whatever this machine reports, the chosen geometry must be
+        // sane — CacheLevel::new panics otherwise — and the fallback
+        // must equal the paper machine.
+        let g = geometry();
+        assert!(g.l1.sane() && g.l2.sane() && g.l3.sane());
+        let _ = CacheSim::detected();
+        if g.source == "skylake" {
+            assert_eq!(*g, CacheGeometry::skylake());
+        } else {
+            assert_eq!(g.source, "sysfs");
+        }
+    }
+
+    #[test]
+    fn insane_reported_geometry_is_rejected() {
+        assert!(!LevelGeometry { bytes: 3 * LINE_BYTES, ways: 1 }.sane());
+        assert!(!LevelGeometry { bytes: 32 << 10, ways: 0 }.sane());
+        assert!(!LevelGeometry { bytes: 100, ways: 1 }.sane());
+        assert!(LevelGeometry { bytes: 48 << 10, ways: 12 }.sane(), "Ice Lake L1");
     }
 }

@@ -3,20 +3,35 @@
 
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
-                                        [--expect-schema v1|v2|v3|v4|v5|v6]
+                                        [--scaling-gate]
+                                        [--expect-schema v1|...|v7]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v6, "graph-api-study/bench-baseline/v6");
+``--expect-schema`` (default v7, "graph-api-study/bench-baseline/v7");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. The two files must also have been
 generated at the same ``batch_width`` and ``delta_batch`` — batched
 cells' wall times scale with queries per cell, and the streaming cells'
 throughput/staleness numbers scale with the update-batch size, so a
 differing width or delta size is refused with exit 2 exactly like a
-schema mismatch. Cells are keyed by (problem, system, graph). For every
-cell present in both files the tracing-off ``wall_s`` is compared; a
-slowdown beyond the threshold (default 20%) is reported as a
-regression.
+schema mismatch. Cells are keyed by (problem, system, graph, threads).
+For every cell present in both files the tracing-off ``wall_s`` is
+compared; a slowdown beyond the threshold (default 20%) is reported as
+a regression.
+
+v7 adds the thread-scaling dimension. A ``thread_sweep`` or header
+``threads`` mismatch between the two files is refused with exit 2 —
+wall times measured at different thread counts are never comparable,
+and silently diffing a 1-thread file against an 8-thread file is
+exactly the mistake this gate exists to catch. With ``--scaling-gate``
+the CURRENT file is additionally self-checked for anti-scaling: any
+static cell whose highest-sweep wall time exceeds its 1-thread wall
+time is a hard ERROR (exit 1), provided the 1-thread wall is above the
+timer-noise floor (sub-``MIN_DELTA_S`` cells are pure jitter at any
+thread count). The gate stands down (with a note) when the CURRENT
+header's ``host_cpus`` is below the sweep top: an oversubscribed sweep
+measures scheduler overhead, not scaling, and failing it would punish
+the hardware rather than the code.
 
 v6 adds the streaming cells (``bfs-inc`` / ``cc-inc`` / ``pr-inc``),
 each carrying ``edges_absorbed_per_s`` / ``staleness_s`` /
@@ -61,7 +76,8 @@ hot loops. The gate only applies when both files ran with the same
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
 or malformed input or a frontier materialization rise or an alloc churn
 rise on a workspace-gated cell or an ok->non-ok status regression (cell
-or per-query), 2 schema, batch_width or delta_batch mismatch.
+or per-query) or an anti-scaling cell under --scaling-gate, 2 schema,
+batch_width, delta_batch, thread_sweep or threads mismatch.
 """
 
 import json
@@ -74,8 +90,9 @@ SCHEMAS = {
     "v4": "graph-api-study/bench-baseline/v4",
     "v5": "graph-api-study/bench-baseline/v5",
     "v6": "graph-api-study/bench-baseline/v6",
+    "v7": "graph-api-study/bench-baseline/v7",
 }
-DEFAULT_SCHEMA = "v6"
+DEFAULT_SCHEMA = "v7"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -108,12 +125,17 @@ def load(path):
 
 
 def key(cell):
-    return (cell["problem"], cell["system"], cell["graph"])
+    # v7 cells carry the thread count they ran at; a 1-thread wall and an
+    # 8-thread wall for the same (problem, system, graph) are distinct
+    # measurements and must never be diffed against each other. Pre-v7
+    # cells have no "threads" field; str() keeps the key sortable either way.
+    return (cell["problem"], cell["system"], cell["graph"], str(cell.get("threads", "")))
 
 
 def main(argv):
     args = [a for a in argv if not a.startswith("--")]
     fail_on_regression = "--fail-on-regression" in argv
+    scaling_gate = "--scaling-gate" in argv
     threshold = 20.0
     expect = DEFAULT_SCHEMA
     if "--threshold" in argv:
@@ -172,6 +194,21 @@ def main(argv):
         )
         return 2
 
+    # Refuse cross-thread comparisons outright: wall times measured at
+    # different thread counts (or over different sweeps) are never
+    # comparable, and keying alone would silently report every cell as
+    # "missing" instead of naming the real problem.
+    for field, hint in (("thread_sweep", "sweep"), ("threads", "count")):
+        if base.get(field) != cur.get(field):
+            print(
+                f"error: {field} mismatch: {base_path} has "
+                f"{base.get(field)!r}, {cur_path} has {cur.get(field)!r}; "
+                f"wall times are not comparable across thread {hint}s "
+                "(regenerate both files on the same sweep)",
+                file=sys.stderr,
+            )
+            return 2
+
     base_cells = {key(c): c for c in base["cells"]}
     cur_cells = {key(c): c for c in cur["cells"]}
     comparable = base.get("scale") == cur.get("scale")
@@ -193,6 +230,45 @@ def main(argv):
         )
 
     regressions, warnings, errors, notes = [], [], [], []
+
+    if scaling_gate:
+        sweep_top = max(cur.get("thread_sweep") or [1])
+        host = cur.get("host_cpus")
+        if isinstance(host, int) and host < sweep_top:
+            notes.append(
+                f"scaling gate stood down: host has {host} cpu(s) but the "
+                f"sweep tops out at {sweep_top} threads — oversubscribed "
+                "walls measure scheduler overhead, not scaling"
+            )
+            scaling_gate = False
+    if scaling_gate:
+        # Self-check CURRENT for anti-scaling: a static cell family whose
+        # highest-sweep wall exceeds its 1-thread wall got *slower* by
+        # adding threads — the raw-speed tier's parallel paths must at
+        # worst break even. Only swept families (both a 1t and a >1t cell)
+        # participate; batched/streaming cells run at a single thread
+        # count. 1t walls at or below the timer-noise floor are skipped:
+        # sub-millisecond cells are jitter at any thread count.
+        families = {}
+        for c in cur["cells"]:
+            t = c.get("threads")
+            if not isinstance(t, int) or c.get("status", "ok") != "ok":
+                continue
+            fam = (c["problem"], c["system"], c["graph"])
+            families.setdefault(fam, {})[t] = c["wall_s"]
+        for fam in sorted(families):
+            walls = families[fam]
+            if 1 not in walls or len(walls) < 2:
+                continue
+            top = max(walls)
+            w1, wt = walls[1], walls[top]
+            if w1 > MIN_DELTA_S and wt > w1:
+                errors.append(
+                    f"{'/'.join(fam)}: ANTI-SCALING {top}-thread wall "
+                    f"{wt:.4f}s exceeds 1-thread wall {w1:.4f}s "
+                    f"(efficiency {w1 / wt / top:.2f}; parallel cells must "
+                    "at worst break even)"
+                )
 
     for k in sorted(base_cells):
         if k not in cur_cells:

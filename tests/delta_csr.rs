@@ -1,0 +1,67 @@
+//! Integration: the delta-encoded CSR representation (`STUDY_CSR=delta`)
+//! round-trips on every study shape and is output-equivalent to the
+//! plain representation on the GraphBLAS variants.
+
+use graph_api_study::graph::{Scale, StudyGraph};
+use graph_api_study::graphblas::delta_csr::encode;
+use graph_api_study::graphblas::{set_csr_mode, CsrMode};
+use graph_api_study::study_core::runner::run_variant;
+use graph_api_study::study_core::{PreparedGraph, Variant};
+
+/// `set_csr_mode` is process-global; serialize the tests that toggle it.
+static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn delta_round_trips_on_all_nine_study_shapes() {
+    // The CSR builder counting-sorts adjacency, so every study shape has
+    // ascending rows and must gap-encode; decoding must reproduce the
+    // plain index array exactly.
+    for which in StudyGraph::all() {
+        let g = which.build(Scale::custom(1.0 / 256.0));
+        let d = encode(g.offsets(), g.dests())
+            .unwrap_or_else(|| panic!("{}: sorted CSR must gap-encode", which.name()));
+        assert_eq!(
+            d.decode_all(),
+            g.dests(),
+            "{}: decode must reproduce the plain column indices",
+            which.name()
+        );
+        if which.is_road() {
+            // The compression claim the representation exists for: on
+            // high-locality road/grid shapes the gap stream beats the
+            // 4-byte/edge plain array.
+            assert!(
+                d.stream_bytes() < g.dests().len() * 4,
+                "{}: {} stream bytes vs {} plain",
+                which.name(),
+                d.stream_bytes(),
+                g.dests().len() * 4
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_mode_is_output_equivalent_to_plain() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // One high-locality shape (delta pays) and one scale-free shape
+    // (delta still correct), across the GraphBLAS-path variants that
+    // exercise vxm/mxv row iteration.
+    for which in [StudyGraph::RoadUsa, StudyGraph::Rmat22] {
+        let p = PreparedGraph::study(which, Scale::custom(1.0 / 128.0));
+        for variant in [Variant::PrGb, Variant::SsspGb, Variant::CcGb] {
+            set_csr_mode(CsrMode::Plain);
+            let plain = run_variant(variant, &p);
+            set_csr_mode(CsrMode::Delta);
+            let delta = run_variant(variant, &p);
+            set_csr_mode(CsrMode::Plain);
+            assert_eq!(
+                plain,
+                delta,
+                "{} on {}: delta CSR must be bit-identical to plain",
+                variant.name(),
+                p.name
+            );
+        }
+    }
+}

@@ -69,7 +69,12 @@ fn repairs_are_identical_across_kernels_threads_and_workspaces() {
     let p = PreparedGraph::study(StudyGraph::Rmat22, Scale::custom(1.0 / 128.0));
 
     let mut baseline: Option<Vec<(IncProblem, System, ProblemOutput)>> = None;
-    for kernel in [KernelMode::Auto, KernelMode::Push, KernelMode::Pull] {
+    for kernel in [
+        KernelMode::Auto,
+        KernelMode::Push,
+        KernelMode::Pull,
+        KernelMode::Bitmap,
+    ] {
         for threads in [1usize, 2, 8] {
             for ws in [WorkspaceMode::On, WorkspaceMode::Off] {
                 set_kernel_mode(kernel);

@@ -152,7 +152,12 @@ fn batched_columns_are_bit_identical_to_serial() {
         StudyGraph::Indochina04,
     ] {
         let p = PreparedGraph::study(which, Scale::custom(1.0 / 256.0));
-        for mode in [KernelMode::Auto, KernelMode::Push, KernelMode::Pull] {
+        for mode in [
+            KernelMode::Auto,
+            KernelMode::Push,
+            KernelMode::Pull,
+            KernelMode::Bitmap,
+        ] {
             ops::set_kernel_mode(mode);
             // Serial answers per source, computed once per (graph, mode):
             // thread count cannot change them (the determinism suite pins
