@@ -42,7 +42,15 @@ use study_core::{
 };
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v7 adds the
+/// (`compare_bench.py` hard-fails on mismatch). v8 adds the service
+/// grid: two `service-*` cells (`service-cheap`, `service-mixed`) that
+/// stand up the long-lived analytics server in-process and drive the
+/// sustained-throughput client mix through the wire protocol, each
+/// carrying request dispositions (`requests` / `ok` / `failed` /
+/// `timeout` / `oom` / `rejected` / `retried`), `qps` and client-side
+/// latency percentiles (`p50_ms` / `p99_ms` plus the cheap-request
+/// subset `cheap_p50_ms` / `cheap_p99_ms` — the no-head-of-line-blocking
+/// evidence); v7 adds the
 /// thread-scaling dimension: every cell carries `threads`, the static
 /// cells are swept over [`THREAD_SWEEP`] (batched/streaming cells run
 /// once at the sweep maximum), swept cells at `t > 1` carry
@@ -63,7 +71,7 @@ use study_core::{
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v7";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v8";
 
 /// Thread counts the static cells are swept over (the strong-scaling
 /// dimension of the paper's Figure 2). The pool is sized to the sweep
@@ -162,13 +170,15 @@ fn run_one_cell(
 ) -> CellOutcome<CellRun> {
     let p = Arc::clone(p);
     run_protected(cell_timeout_from_env(), move || {
-        let mut total = Duration::ZERO;
-        let mut first = None;
-        for _ in 0..repeats {
+        // The first run happens unconditionally (repeats is clamped to 1)
+        // so there is no "no output" state to unwrap later.
+        let start = Instant::now();
+        let output = try_run(system, problem, &p)?;
+        let mut total = start.elapsed();
+        for _ in 1..repeats.max(1) {
             let start = Instant::now();
-            let output = try_run(system, problem, &p)?;
+            try_run(system, problem, &p)?;
             total += start.elapsed();
-            first.get_or_insert(output);
         }
         let start = Instant::now();
         let (traced, trace) = perfmon::trace::with_trace(|| try_run(system, problem, &p));
@@ -176,7 +186,7 @@ fn run_one_cell(
         Ok(CellRun {
             wall: total / repeats.max(1),
             traced_wall: start.elapsed(),
-            output: first.expect("repeats >= 1"),
+            output,
             summary: trace.summary(),
         })
     })
@@ -205,13 +215,13 @@ fn run_one_batch_cell(
     let p = Arc::clone(p);
     let sources = sources.to_vec();
     run_protected(cell_timeout_from_env(), move || {
-        let mut total = Duration::ZERO;
-        let mut first = None;
-        for _ in 0..repeats {
+        let start = Instant::now();
+        let results = try_run_batch(system, problem, &p, &sources);
+        let mut total = start.elapsed();
+        for _ in 1..repeats.max(1) {
             let start = Instant::now();
-            let results = try_run_batch(system, problem, &p, &sources);
+            try_run_batch(system, problem, &p, &sources);
             total += start.elapsed();
-            first.get_or_insert(results);
         }
         let start = Instant::now();
         let (_, trace) =
@@ -219,7 +229,7 @@ fn run_one_batch_cell(
         Ok(BatchRun {
             wall: total / repeats.max(1),
             traced_wall: start.elapsed(),
-            results: first.expect("repeats >= 1"),
+            results,
             summary: trace.summary(),
         })
     })
@@ -248,13 +258,13 @@ fn run_one_incremental_cell(
     let updates = updates.to_vec();
     let out = run_protected(cell_timeout_from_env(), move || {
         let body = || -> Result<IncBenchRun, IncError> {
-            let mut total = Duration::ZERO;
-            let mut first = None;
-            for _ in 0..repeats {
+            let start = Instant::now();
+            let run = try_run_incremental(system, problem, &p, &updates)?;
+            let mut total = start.elapsed();
+            for _ in 1..repeats.max(1) {
                 let start = Instant::now();
-                let run = try_run_incremental(system, problem, &p, &updates)?;
+                try_run_incremental(system, problem, &p, &updates)?;
                 total += start.elapsed();
-                first.get_or_insert(run);
             }
             let start = Instant::now();
             let (traced, trace) =
@@ -263,7 +273,7 @@ fn run_one_incremental_cell(
             Ok(IncBenchRun {
                 wall: total / repeats.max(1),
                 traced_wall: start.elapsed(),
-                run: first.expect("repeats >= 1"),
+                run,
                 summary: trace.summary(),
             })
         };
@@ -546,6 +556,95 @@ fn main() {
         }
     }
 
+    // The service dimension: the long-lived server in-process over the
+    // first prepared graph, driven by the sustained-throughput client
+    // mix through the real wire protocol. Two cells: cheap-only traffic
+    // (the latency floor) and the mixed workload (cheap threads racing
+    // expensive tc/ktruss jobs) — comparing cheap_p99_ms across the two
+    // is the admission controller's no-head-of-line-blocking evidence.
+    if let Some(p) = prepared.first() {
+        use bench::service_load::{self, LoadSpec};
+        for (label, expensive_threads) in [("service-cheap", 0usize), ("service-mixed", 2)] {
+            let catalog = service::Catalog::new();
+            catalog.insert(PreparedGraph::clone(p));
+            let config = service::ServiceConfig {
+                addr: "127.0.0.1:0".to_string(),
+                admission: service::AdmissionConfig::from_env(),
+                default_deadline_ms: 0,
+            };
+            let mut cell = Json::obj();
+            cell.push("problem", label);
+            cell.push("system", "service");
+            cell.push("graph", p.name.clone());
+            cell.push("threads", full_threads);
+            match service::Service::start(config, catalog) {
+                Ok(handle) => {
+                    let spec = LoadSpec {
+                        cheap_threads: 4,
+                        expensive_threads,
+                        requests_per_thread: 8,
+                        deadline_ms: 0,
+                        verify: true,
+                        retry: service::RetryPolicy::from_env(),
+                        seed: 42,
+                    };
+                    let report = service_load::drive(handle.addr(), &p.name, &spec);
+                    let drained = match service::Client::connect(
+                        handle.addr(),
+                        service::RetryPolicy::none(),
+                        0,
+                    ) {
+                        Ok(mut c) => c.shutdown().is_ok() && handle.join().drained_clean,
+                        Err(_) => false,
+                    };
+                    let healthy = report.all_ok() && drained;
+                    if !healthy {
+                        failures += 1;
+                    }
+                    eprintln!(
+                        "[cell] {label} {}: {} requests, {} ok, {:.1} qps, p99 {:.2} ms (cheap {:.2} ms)",
+                        p.name,
+                        report.requests,
+                        report.ok,
+                        report.qps(),
+                        service_load::percentile_ms(&report.latencies_ms, 99.0),
+                        service_load::percentile_ms(&report.cheap_latencies_ms, 99.0),
+                    );
+                    cell.push("status", if healthy { "ok" } else { "failed" });
+                    cell.push("wall_s", report.wall.as_secs_f64());
+                    cell.push("requests", report.requests);
+                    cell.push("ok", report.ok);
+                    cell.push("failed", report.failed);
+                    cell.push("timeout", report.timeout);
+                    cell.push("oom", report.oom);
+                    cell.push("rejected", report.rejected);
+                    cell.push("retried", report.retried);
+                    cell.push("transport_errors", report.transport_errors);
+                    cell.push("qps", report.qps());
+                    cell.push("p50_ms", service_load::percentile_ms(&report.latencies_ms, 50.0));
+                    cell.push("p99_ms", service_load::percentile_ms(&report.latencies_ms, 99.0));
+                    cell.push(
+                        "cheap_p50_ms",
+                        service_load::percentile_ms(&report.cheap_latencies_ms, 50.0),
+                    );
+                    cell.push(
+                        "cheap_p99_ms",
+                        service_load::percentile_ms(&report.cheap_latencies_ms, 99.0),
+                    );
+                    cell.push("verified", healthy);
+                    cell.push("drained_clean", drained);
+                }
+                Err(e) => {
+                    eprintln!("[cell] {label} {}: bind failed ({e})", p.name);
+                    incomplete += 1;
+                    cell.push("status", "failed");
+                    cell.push("error", format!("bind failed: {e}"));
+                }
+            }
+            cells.push(cell);
+        }
+    }
+
     let mut doc = Json::obj();
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
@@ -588,12 +687,13 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "[baseline] wrote {out}: {} cells ({} x {} threads + {} batched + {} streaming problems x {} systems x {} graphs, batch width {batch_width}, delta batch {delta_batch})",
+        "[baseline] wrote {out}: {} cells ({} x {} threads + {} batched + {} streaming problems x {} systems x {} graphs + 2 service, batch width {batch_width}, delta batch {delta_batch})",
         (Problem::all().len() * THREAD_SWEEP.len()
             + BatchProblem::all().len()
             + IncProblem::all().len())
             * System::all().len()
-            * prepared.len(),
+            * prepared.len()
+            + 2,
         Problem::all().len(),
         THREAD_SWEEP.len(),
         BatchProblem::all().len(),

@@ -44,7 +44,7 @@ fn main() {
         threads.push(t);
         t *= 2;
     }
-    if *threads.last().expect("non-empty") != max_threads {
+    if threads.last().copied() != Some(max_threads) {
         threads.push(max_threads);
     }
 

@@ -42,12 +42,13 @@ fn main() {
             std::iter::once("graph".to_string())
                 .chain(variants.iter().map(|v| v.name().to_string())),
         );
+        // Baseline: the gb variant. A panel without one has nothing to
+        // normalize against; skip it instead of dying mid-report.
+        let Some(baseline) = variants.iter().find(|v| v.name() == "gb") else {
+            eprintln!("[fig3] panel {problem} has no gb baseline; skipped");
+            continue;
+        };
         for p in &prepared {
-            // Baseline: the gb variant (always last in the panel).
-            let baseline = variants
-                .iter()
-                .find(|v| v.name() == "gb")
-                .expect("every panel has a gb baseline");
             let (base_time, _) = bench::timed_avg(repeats, || {
                 let m = timed_run_variant(*baseline, p);
                 (m.elapsed, ())

@@ -33,41 +33,52 @@ fn main() {
         // ktruss rounds (skip the giant ones at high scale by bounding on
         // edge count; the road networks and crawls are representative).
         if p.symmetric.num_edges() <= 1_500_000 {
-            let gb = lagraph::ktruss::ktruss(&p.symmetric, p.ktruss_k, GaloisRuntime)
-                .expect("ktruss on a prepared graph");
-            let ls = lonestar::ktruss::ktruss(&p.symmetric, p.ktruss_k);
-            assert_eq!(gb.edges_remaining, ls.edges_remaining);
-            kt.row([
-                p.name.clone(),
-                p.ktruss_k.to_string(),
-                gb.rounds.to_string(),
-                ls.rounds.to_string(),
-                format!("{:.2}", f64::from(gb.rounds) / f64::from(ls.rounds)),
-            ]);
+            // A failed run (e.g. a memory budget trip) skips the row
+            // rather than killing the whole report.
+            match lagraph::ktruss::ktruss(&p.symmetric, p.ktruss_k, GaloisRuntime) {
+                Ok(gb) => {
+                    let ls = lonestar::ktruss::ktruss(&p.symmetric, p.ktruss_k);
+                    assert_eq!(gb.edges_remaining, ls.edges_remaining);
+                    kt.row([
+                        p.name.clone(),
+                        p.ktruss_k.to_string(),
+                        gb.rounds.to_string(),
+                        ls.rounds.to_string(),
+                        format!("{:.2}", f64::from(gb.rounds) / f64::from(ls.rounds)),
+                    ]);
+                }
+                Err(e) => eprintln!("[rounds] ktruss on {} failed: {e}", p.name),
+            }
         }
 
-        let gb = lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, GaloisRuntime)
-            .expect("sssp on a prepared graph");
-        let ls = lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, true);
-        assert_eq!(gb.dist, ls.dist);
-        ss.row([
-            p.name.clone(),
-            gb.buckets.to_string(),
-            gb.rounds.to_string(),
-            ls.work_items.to_string(),
-            format!("{:.2}", ls.work_items as f64 / p.graph.num_nodes() as f64),
-        ]);
+        match lagraph::sssp::sssp_delta_stepping(&p.graph, p.source, p.sssp_delta, GaloisRuntime) {
+            Ok(gb) => {
+                let ls = lonestar::sssp::sssp(&p.graph, p.source, p.sssp_delta, true);
+                assert_eq!(gb.dist, ls.dist);
+                ss.row([
+                    p.name.clone(),
+                    gb.buckets.to_string(),
+                    gb.rounds.to_string(),
+                    ls.work_items.to_string(),
+                    format!("{:.2}", ls.work_items as f64 / p.graph.num_nodes() as f64),
+                ]);
+            }
+            Err(e) => eprintln!("[rounds] sssp on {} failed: {e}", p.name),
+        }
 
-        let gbk = lagraph::kcore::kcore(&p.symmetric, 4, GaloisRuntime)
-            .expect("kcore on a prepared graph");
-        let lsk = lonestar::kcore::kcore(&p.symmetric, 4);
-        assert_eq!(gbk.in_core, lsk.in_core);
-        kc.row([
-            p.name.clone(),
-            "4".to_string(),
-            gbk.rounds.to_string(),
-            lsk.work_items.to_string(),
-        ]);
+        match lagraph::kcore::kcore(&p.symmetric, 4, GaloisRuntime) {
+            Ok(gbk) => {
+                let lsk = lonestar::kcore::kcore(&p.symmetric, 4);
+                assert_eq!(gbk.in_core, lsk.in_core);
+                kc.row([
+                    p.name.clone(),
+                    "4".to_string(),
+                    gbk.rounds.to_string(),
+                    lsk.work_items.to_string(),
+                ]);
+            }
+            Err(e) => eprintln!("[rounds] kcore on {} failed: {e}", p.name),
+        }
     }
 
     println!("ktruss (paper: gb executes ~1.6x more rounds than ls):\n{kt}");

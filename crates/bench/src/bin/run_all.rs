@@ -9,14 +9,30 @@
 use std::process::Command;
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("target dir");
+    let dir = match std::env::current_exe() {
+        Ok(exe) => match exe.parent() {
+            Some(d) => d.to_path_buf(),
+            None => {
+                eprintln!("[run_all] own executable path {exe:?} has no parent directory");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("[run_all] cannot locate the sibling binaries: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut failed = Vec::new();
     for bin in ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3"] {
         println!("\n===================== {bin} =====================\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let status = match Command::new(dir.join(bin)).status() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[run_all] failed to launch {bin}: {e}");
+                failed.push(bin);
+                continue;
+            }
+        };
         if !status.success() {
             eprintln!("[run_all] {bin} exited with {status}");
             failed.push(bin);

@@ -16,6 +16,8 @@
 use std::time::Duration;
 use study_core::PreparedGraph;
 
+pub mod service_load;
+
 pub use graph::{Scale, StudyGraph};
 
 /// Reads the scale multiplier from `STUDY_SCALE`.
@@ -52,6 +54,12 @@ pub fn graphs_from_env() -> Vec<StudyGraph> {
         }
         Err(_) => StudyGraph::all().to_vec(),
     }
+}
+
+/// Catalog names of the graphs [`prepare_graphs`] would prepare,
+/// without preparing them (cheap — for pointing clients at a server).
+pub fn prepare_graph_names() -> Vec<String> {
+    graphs_from_env().iter().map(|g| g.name().to_string()).collect()
 }
 
 /// Builds and prepares the selected graphs, echoing progress to stderr.

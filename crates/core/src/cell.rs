@@ -45,6 +45,21 @@ impl CellStatus {
     }
 }
 
+impl CellStatus {
+    /// Parses the schema string back into a status — the inverse of
+    /// [`CellStatus::name`], used by service clients decoding wire
+    /// responses.
+    pub fn from_name(name: &str) -> Option<CellStatus> {
+        match name {
+            "ok" => Some(CellStatus::Ok),
+            "failed" => Some(CellStatus::Failed),
+            "timeout" => Some(CellStatus::Timeout),
+            "oom" => Some(CellStatus::Oom),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for CellStatus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
@@ -66,6 +81,22 @@ impl<T> CellOutcome<T> {
     /// Whether the cell completed normally.
     pub fn is_ok(&self) -> bool {
         self.status == CellStatus::Ok
+    }
+
+    /// Maps the carried value, preserving status and error — the shape
+    /// a service layer needs to turn a raw cell result into a wire
+    /// response without re-deriving the outcome axis.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> CellOutcome<U> {
+        CellOutcome {
+            status: self.status,
+            error: self.error,
+            value: self.value.map(f),
+        }
+    }
+
+    /// Discards the value, keeping only the outcome axis.
+    pub fn discard_value(self) -> CellOutcome<()> {
+        self.map(|_| ())
     }
 }
 
@@ -157,14 +188,26 @@ pub fn run_protected<T: Send + 'static>(
         None => outcome_of(std::panic::catch_unwind(std::panic::AssertUnwindSafe(body))),
         Some(limit) => {
             let (tx, rx) = std::sync::mpsc::channel();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("study-cell".to_string())
                 .spawn(move || {
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
                     let _ = tx.send(result);
-                })
-                .expect("failed to spawn cell thread");
+                });
+            // Thread exhaustion is a resource failure of the host, not a
+            // bug in the cell body — report it as a failed outcome so a
+            // long-lived caller (the service) keeps serving.
+            let handle = match spawned {
+                Ok(h) => h,
+                Err(e) => {
+                    return CellOutcome {
+                        status: CellStatus::Failed,
+                        error: Some(format!("failed to spawn cell thread: {e}")),
+                        value: None,
+                    }
+                }
+            };
             match rx.recv_timeout(limit) {
                 Ok(result) => {
                     let _ = handle.join();
@@ -271,5 +314,31 @@ mod tests {
         assert_eq!(CellStatus::Failed.name(), "failed");
         assert_eq!(CellStatus::Timeout.name(), "timeout");
         assert_eq!(CellStatus::Oom.name(), "oom");
+    }
+
+    #[test]
+    fn status_names_round_trip_through_from_name() {
+        for status in [
+            CellStatus::Ok,
+            CellStatus::Failed,
+            CellStatus::Timeout,
+            CellStatus::Oom,
+        ] {
+            assert_eq!(CellStatus::from_name(status.name()), Some(status));
+        }
+        assert_eq!(CellStatus::from_name("rejected"), None);
+    }
+
+    #[test]
+    fn map_preserves_status_and_error() {
+        let out = run_protected(None, || Ok::<_, GrbError>(21)).map(|v| v * 2);
+        assert!(out.is_ok());
+        assert_eq!(out.value, Some(42));
+        let failed = run_protected(None, || -> Result<u32, GrbError> {
+            panic!("boom")
+        })
+        .map(|v| v * 2);
+        assert_eq!(failed.status, CellStatus::Failed);
+        assert!(failed.discard_value().error.unwrap().contains("boom"));
     }
 }

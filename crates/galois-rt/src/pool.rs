@@ -10,7 +10,7 @@
 //! [`crate::for_each_ordered`]) is built on top of it.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use substrate::sync::{Condvar, Mutex};
 
@@ -38,6 +38,11 @@ struct JobSlot {
 
 struct Shared {
     slot: Mutex<JobSlot>,
+    /// Set while some caller owns the workers for a region. A second
+    /// concurrent caller (a service job on another thread) does not block
+    /// on it — it runs its region's shares sequentially on its own thread
+    /// instead, so the pool is shared without head-of-line blocking.
+    busy: AtomicBool,
     work_cv: Condvar,
     /// Workers still running the current region (excludes the caller).
     remaining: AtomicUsize,
@@ -105,6 +110,7 @@ impl ThreadPool {
                 participants: 0,
                 shutdown: false,
             }),
+            busy: AtomicBool::new(false),
             work_cv: Condvar::new(),
             remaining: AtomicUsize::new(0),
             done_lock: Mutex::new(()),
@@ -142,6 +148,15 @@ impl ThreadPool {
     /// on the calling thread, matching Galois' behaviour for nested
     /// parallelism.
     ///
+    /// Concurrent calls from *different* threads (e.g. two service jobs
+    /// sharing the global pool) are also supported: the first caller owns
+    /// the workers, every other caller runs all of its region's shares
+    /// `f(0..threads)` sequentially on its own thread. Sequential fallback
+    /// is correct for every construct in this crate because no region
+    /// closure waits on another participant's progress — each share drains
+    /// shared work until a pending count reaches zero or processes a
+    /// disjoint block.
+    ///
     /// # Panics
     ///
     /// If any participant panics, the region still runs to completion on
@@ -163,6 +178,28 @@ impl ThreadPool {
             THREAD_ID.with(|t| t.set(prev));
             return;
         }
+
+        // Claim the workers. Losing the race means another thread's region
+        // is in flight; run this region's shares sequentially instead of
+        // blocking behind it (bounded latency, no lost work — see above).
+        if self
+            .shared
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            run_shares_serially(threads, &f);
+            return;
+        }
+        // Release on every exit path, including an unwind from a
+        // panicking share rethrown below.
+        struct BusyGuard<'a>(&'a AtomicBool);
+        impl Drop for BusyGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _busy = BusyGuard(&self.shared.busy);
 
         let job: &(dyn Fn(usize) + Sync) = &f;
         // Erase the lifetime; `region` blocks until the workers are done so
@@ -231,6 +268,32 @@ impl Drop for ThreadPool {
         for handle in self.handles.lock().drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Runs every share of a region sequentially on the calling thread with
+/// region-correct `current_thread_id` values — the fallback for a caller
+/// that lost the race for the pool's workers. Thread-locals are restored
+/// even if a share panics (the panic propagates to the caller, mirroring
+/// the parallel path's rethrow).
+fn run_shares_serially(threads: usize, f: &(dyn Fn(usize) + Sync)) {
+    struct Restore {
+        prev_id: usize,
+        prev_in: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_REGION.with(|r| r.set(self.prev_in));
+            THREAD_ID.with(|t| t.set(self.prev_id));
+        }
+    }
+    let _restore = Restore {
+        prev_id: THREAD_ID.with(|t| t.get()),
+        prev_in: IN_REGION.with(|r| r.replace(true)),
+    };
+    for tid in 0..threads {
+        THREAD_ID.with(|t| t.set(tid));
+        f(tid);
     }
 }
 
@@ -457,6 +520,48 @@ mod tests {
     // chaos suite (`tests/chaos.rs`): a fault plan is process-global, so
     // installing one here would race with the other tests in this binary
     // that share the global pool.
+
+    #[test]
+    fn concurrent_callers_share_the_pool_without_losing_work() {
+        // Two threads drive regions on the same pool at once. Whichever
+        // caller loses the busy race must still run *all* of its shares
+        // (sequentially), so tid-partitioned work like `do_all_static`
+        // cannot lose blocks.
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mask = AtomicU64::new(0);
+                    pool.region(4, |tid| {
+                        mask.fetch_or(1 << tid, Ordering::Relaxed);
+                    });
+                    assert_eq!(mask.into_inner(), 0b1111, "a share was skipped");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("caller thread panicked");
+        }
+    }
+
+    #[test]
+    fn contended_caller_panic_releases_the_pool() {
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        // Occupy the pool from a helper thread, then panic a region on
+        // the main thread (which may take either path) and verify the
+        // pool still works afterwards.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.region(2, |_| panic!("job failure"));
+        }));
+        assert!(caught.is_err());
+        let ok = AtomicU64::new(0);
+        pool.region(2, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.into_inner(), 2);
+    }
 
     #[test]
     fn global_thread_setting_round_trips() {

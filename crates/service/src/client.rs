@@ -1,0 +1,275 @@
+//! Blocking client with seeded-jitter retry/backoff.
+//!
+//! Retries apply **only** to budget-class rejections — responses the
+//! server marked `retryable` (zero capacity, queue overflow, injected
+//! `svc.admit` transients). Deterministic outcomes — failed, timeout,
+//! oom, draining — are never retried: retrying a deterministic failure
+//! only burns server capacity. Backoff is exponential with jitter drawn
+//! from a seeded xoshiro PRNG, so a chaos run's retry schedule replays
+//! bit-exact under a fixed seed.
+
+use crate::protocol::{
+    self, BatchRequest, BatchResponse, FrameError, IngestRequest, IngestResponse, Request,
+    Response, RunRequest, RunResponse, StatsResponse,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+use substrate::rng::Rng;
+
+/// How a client call can fail (transport or protocol level — a job
+/// failure is a normal response, not an error).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The server answered with a different message type.
+    Unexpected(String),
+    /// The server reported a request-level error.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Retry/backoff policy for transiently rejected work.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts after the first (0 disables retries).
+    pub max_retries: u32,
+    /// First backoff step; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+        }
+    }
+
+    /// Reads `STUDY_SVC_RETRIES` (default 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `STUDY_SVC_RETRIES` is set to a non-integer.
+    pub fn from_env() -> RetryPolicy {
+        let max_retries = match std::env::var("STUDY_SVC_RETRIES") {
+            Ok(v) if !v.trim().is_empty() => v.trim().parse().unwrap_or_else(|e| {
+                panic!("STUDY_SVC_RETRIES must be a retry count, got {v:?}: {e}")
+            }),
+            _ => 3,
+        };
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Blocking connection to the analytics service.
+pub struct Client {
+    stream: TcpStream,
+    policy: RetryPolicy,
+    rng: Rng,
+    retries_used: u64,
+}
+
+impl Client {
+    /// Connects with the given retry policy; `seed` fixes the jitter
+    /// schedule (chaos replays pass the fault-plan seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(
+        addr: impl std::net::ToSocketAddrs,
+        policy: RetryPolicy,
+        seed: u64,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            policy,
+            rng: Rng::seed_from_u64(seed ^ 0x5e71_1e5e_c0de_u64),
+            retries_used: 0,
+        })
+    }
+
+    /// Retries consumed by this client so far (for bench accounting).
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = protocol::encode_request(request);
+        protocol::write_frame(&mut self.stream, &payload)?;
+        let reply = protocol::read_frame(&mut self.stream)?;
+        protocol::decode_response(&reply).map_err(|e| ClientError::Frame(FrameError::Proto(e)))
+    }
+
+    /// Exponential backoff with jitter in `[0.5, 1.0)` of the step.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let step = self
+            .policy
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.cap);
+        step.mul_f64(0.5 + 0.5 * self.rng.gen_f64())
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-pong reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs one analytics job, retrying transiently rejected attempts
+    /// under the policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only — every job disposition (including
+    /// rejected after retries are exhausted) is a normal [`RunResponse`].
+    pub fn run(&mut self, request: &RunRequest) -> Result<RunResponse, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let response = match self.roundtrip(&Request::Run(request.clone()))? {
+                Response::Run(r) => r,
+                Response::Error(msg) => return Err(ClientError::Server(msg)),
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            };
+            if response.status == protocol::Status::Rejected
+                && response.retryable
+                && attempt < self.policy.max_retries
+            {
+                let pause = self.backoff(attempt);
+                attempt += 1;
+                self.retries_used += 1;
+                std::thread::sleep(pause);
+                continue;
+            }
+            return Ok(response);
+        }
+    }
+
+    /// Runs one batched query, with the same retry rule as [`Client::run`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn batch(&mut self, request: &BatchRequest) -> Result<BatchResponse, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let response = match self.roundtrip(&Request::Batch(request.clone()))? {
+                Response::Batch(r) => r,
+                Response::Error(msg) => return Err(ClientError::Server(msg)),
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            };
+            if response.status == protocol::Status::Rejected
+                && response.retryable
+                && attempt < self.policy.max_retries
+            {
+                let pause = self.backoff(attempt);
+                attempt += 1;
+                self.retries_used += 1;
+                std::thread::sleep(pause);
+                continue;
+            }
+            return Ok(response);
+        }
+    }
+
+    /// Streams an edge batch into a graph's delta overlay.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a request-level server error.
+    pub fn ingest(&mut self, request: &IngestRequest) -> Result<IngestResponse, ClientError> {
+        match self.roundtrip(&Request::Ingest(request.clone()))? {
+            Response::Ingest(r) => Ok(r),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Compacts a graph's overlay and returns the republished stats.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a request-level server error (unknown graph,
+    /// failed compaction).
+    pub fn compact(&mut self, graph: &str) -> Result<StatsResponse, ClientError> {
+        match self.roundtrip(&Request::Compact {
+            graph: graph.to_string(),
+        })? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Reads a graph's catalog statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a request-level server error.
+    pub fn stats(&mut self, graph: &str) -> Result<StatsResponse, ClientError> {
+        match self.roundtrip(&Request::Stats {
+            graph: graph.to_string(),
+        })? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and stop; returns once the drain is
+    /// acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or a non-ack reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("policy", &self.policy)
+            .field("retries_used", &self.retries_used)
+            .finish()
+    }
+}

@@ -126,6 +126,25 @@ impl Condvar {
         guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
     }
 
+    /// Like [`Condvar::wait`] but gives up after `timeout`.
+    ///
+    /// Returns `true` if the wait timed out (the lock is reacquired either
+    /// way). Spurious wakeups are possible, so callers loop on their
+    /// predicate and recompute the remaining timeout.
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.inner = Some(inner);
+        result.timed_out()
+    }
+
     /// Wakes one waiting thread.
     #[inline]
     pub fn notify_one(&self) {

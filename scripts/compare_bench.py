@@ -4,10 +4,10 @@
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
                                         [--scaling-gate]
-                                        [--expect-schema v1|...|v7]
+                                        [--expect-schema v1|...|v8]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v7, "graph-api-study/bench-baseline/v7");
+``--expect-schema`` (default v8, "graph-api-study/bench-baseline/v8");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. The two files must also have been
 generated at the same ``batch_width`` and ``delta_batch`` — batched
@@ -73,11 +73,23 @@ workspaces exist precisely to keep per-call allocation out of those
 hot loops. The gate only applies when both files ran with the same
 ``workspace_mode``; a drop is reported as a note.
 
+v8 adds two ``service`` cells per run (``service-cheap`` and
+``service-mixed``): a long-lived in-process server is driven with the
+mixed client workload and the cell records request dispositions
+(ok / failed / timeout / oom / rejected), qps and client-observed
+latency percentiles. Any served request regressing from an all-ok
+baseline to a failed, timeout or oom disposition is a hard ERROR
+(exit 1), as is a server that fails to drain cleanly — the service
+layer exists precisely to fault-contain concurrent jobs without
+taking their siblings down. Latency percentiles and qps are reported,
+not gated: they track machine load, not behaviour.
+
 Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
 or malformed input or a frontier materialization rise or an alloc churn
-rise on a workspace-gated cell or an ok->non-ok status regression (cell
-or per-query) or an anti-scaling cell under --scaling-gate, 2 schema,
-batch_width, delta_batch, thread_sweep or threads mismatch.
+rise on a workspace-gated cell or an ok->non-ok status regression (cell,
+per-query or served-request) or an unclean service drain or an
+anti-scaling cell under --scaling-gate, 2 schema, batch_width,
+delta_batch, thread_sweep or threads mismatch.
 """
 
 import json
@@ -91,8 +103,9 @@ SCHEMAS = {
     "v5": "graph-api-study/bench-baseline/v5",
     "v6": "graph-api-study/bench-baseline/v6",
     "v7": "graph-api-study/bench-baseline/v7",
+    "v8": "graph-api-study/bench-baseline/v8",
 }
-DEFAULT_SCHEMA = "v7"
+DEFAULT_SCHEMA = "v8"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -317,6 +330,24 @@ def main(argv):
                     errors.append(f"{name} query {j}: current run is not verified")
         elif not c.get("verified", False):
             errors.append(f"{name}: current run is not verified")
+        if "requests" in b or "requests" in c:
+            # v8 service cell: a *served* request flipping from ok to any
+            # failed/timeout/oom disposition under the clean mixed load is
+            # a hard regression even if the cell as a whole reports ok.
+            # (Admission rejections already flip the cell status itself.)
+            served_bad = ("failed", "timeout", "oom", "transport_errors")
+            b_bad = sum(b.get(f, 0) for f in served_bad)
+            c_bad = sum(c.get(f, 0) for f in served_bad)
+            if b_bad == 0 and c_bad > 0:
+                errors.append(
+                    f"{name}: served requests regressed ok -> non-ok "
+                    f"(failed={c.get('failed', 0)} "
+                    f"timeout={c.get('timeout', 0)} oom={c.get('oom', 0)} "
+                    f"transport={c.get('transport_errors', 0)} of "
+                    f"{c.get('requests', 0)}; baseline served all ok)"
+                )
+            if not c.get("drained_clean", True):
+                errors.append(f"{name}: server did not drain cleanly")
         if not comparable:
             continue
         bw, cw = b["wall_s"], c["wall_s"]

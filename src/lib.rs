@@ -16,6 +16,9 @@
 //! * [`lagraph`] — matrix-based algorithms written on the GraphBLAS API.
 //! * [`lonestar`] — graph-based algorithms written on the Galois API.
 //! * [`perfmon`] — software performance counters and memory tracking.
+//! * [`service`] — the long-lived analytics service: snapshot catalog,
+//!   admission control, deadlines, retry/backoff and fault-contained
+//!   concurrent jobs over a length-prefixed socket protocol.
 //! * [`study_core`] — the study harness: runners, references, verification.
 //! * [`substrate`] — the hermetic-build layer: std-only sync primitives,
 //!   work-stealing deque, PRNG, property-test and timing harnesses that
@@ -27,5 +30,6 @@ pub use graphblas;
 pub use lagraph;
 pub use lonestar;
 pub use perfmon;
+pub use service;
 pub use study_core;
 pub use substrate;

@@ -370,6 +370,185 @@ fn pool_survives_an_injected_worker_panic() {
     });
 }
 
+// ---------------------------------------------------------------------------
+// Service legs: fault containment in the long-lived server
+// ---------------------------------------------------------------------------
+
+use graph_api_study::service::protocol::{RunRequest, Status};
+use graph_api_study::service::{
+    AdmissionConfig, Catalog, Client, RetryPolicy, Service, ServiceConfig, ServiceHandle,
+};
+
+/// An in-process server over the shared chaos graph, with explicit
+/// (env-independent) limits.
+fn start_service(capacity: u32, default_deadline_ms: u32) -> ServiceHandle {
+    let catalog = Catalog::new();
+    catalog.insert(PreparedGraph::clone(&prepared()));
+    Service::start(
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            admission: AdmissionConfig {
+                capacity,
+                queue_cap: (capacity * 2).max(4),
+            },
+            default_deadline_ms,
+        },
+        catalog,
+    )
+    .expect("bind an ephemeral port")
+}
+
+fn bfs_request() -> RunRequest {
+    RunRequest {
+        graph: prepared().name.clone(),
+        system: System::Lonestar,
+        problem: Problem::Bfs,
+        deadline_ms: 0,
+        verify: true,
+    }
+}
+
+/// An injected job panic (`svc.job.panic`) costs exactly the victim
+/// request: it reports `failed` with the injected message, every sibling
+/// request completes ok and verified with the clean run's digest, the
+/// process survives, and the drain is clean.
+#[test]
+fn service_contains_an_injected_job_panic() {
+    let clean_digest = with_chaos_state(None, None, || {
+        let handle = start_service(4, 0);
+        let mut c = Client::connect(handle.addr(), RetryPolicy::none(), 5).unwrap();
+        let r = c.run(&bfs_request()).expect("transport");
+        assert_eq!(r.status, Status::Ok, "{}", r.error);
+        c.shutdown().expect("shutdown");
+        assert!(handle.join().drained_clean);
+        r.digest
+    });
+
+    with_chaos_state(Some("svc.job.panic:nth=2"), None, || {
+        let handle = start_service(4, 0);
+        let mut c = Client::connect(handle.addr(), RetryPolicy::none(), 5).unwrap();
+        let mut statuses = Vec::new();
+        for i in 0..4 {
+            let r = c.run(&bfs_request()).expect("transport");
+            statuses.push(r.status);
+            if i == 1 {
+                assert_eq!(r.status, Status::Failed, "victim is the second job");
+                assert!(
+                    r.error.contains("injected fault: svc.job.panic"),
+                    "got {:?}",
+                    r.error
+                );
+            } else {
+                assert_eq!(r.status, Status::Ok, "sibling {i}: {}", r.error);
+                assert!(r.verified, "sibling {i} must verify");
+                assert_eq!(r.digest, clean_digest, "sibling {i} output diverged");
+            }
+        }
+        c.shutdown().expect("shutdown after a contained panic");
+        let report = handle.join();
+        assert!(report.drained_clean, "drain must be clean: {report:?}");
+        assert_eq!(report.served, 4);
+        assert_eq!(report.contained_failures, 1);
+    });
+}
+
+/// An injected hang (`svc.job.hang`) under a short server deadline is a
+/// client-visible `timeout`, not a wedged server: the next request on
+/// the same connection completes normally.
+#[test]
+fn service_deadline_trips_on_an_injected_hang() {
+    with_chaos_state(Some("svc.job.hang:nth=1"), None, || {
+        let handle = start_service(4, 250);
+        let mut c = Client::connect(handle.addr(), RetryPolicy::none(), 6).unwrap();
+        let victim = c.run(&bfs_request()).expect("transport");
+        assert_eq!(
+            victim.status,
+            Status::Timeout,
+            "hang under a 250 ms deadline: {}",
+            victim.error
+        );
+        assert!(!victim.retryable, "a deadline trip is deterministic");
+        // The trigger is spent; the server still serves.
+        let next = c.run(&bfs_request()).expect("transport");
+        assert_eq!(next.status, Status::Ok, "{}", next.error);
+        assert!(next.verified);
+        c.shutdown().expect("shutdown");
+        let report = handle.join();
+        assert!(report.drained_clean);
+        assert_eq!(report.contained_failures, 1);
+    });
+}
+
+/// Zero admission capacity mid-traffic sheds with retryable rejections
+/// while the connection, catalog and process stay healthy; restoring
+/// capacity resumes service with no residue.
+#[test]
+fn service_zero_budget_mid_traffic_sheds_and_recovers() {
+    with_chaos_state(None, None, || {
+        let handle = start_service(4, 0);
+        let mut c = Client::connect(handle.addr(), RetryPolicy::none(), 8).unwrap();
+        let r = c.run(&bfs_request()).expect("transport");
+        assert_eq!(r.status, Status::Ok, "{}", r.error);
+
+        handle.set_capacity(0);
+        for _ in 0..3 {
+            let r = c.run(&bfs_request()).expect("transport");
+            assert_eq!(r.status, Status::Rejected);
+            assert!(r.retryable, "budget-class shed must be retryable");
+        }
+
+        handle.set_capacity(4);
+        let r = c.run(&bfs_request()).expect("transport");
+        assert_eq!(r.status, Status::Ok, "recovery failed: {}", r.error);
+        assert!(r.verified);
+        c.shutdown().expect("shutdown");
+        let report = handle.join();
+        assert!(report.drained_clean);
+        assert_eq!(report.rejected, 3);
+    });
+}
+
+/// A seeded `svc.admit` plan over a serial request stream replays
+/// bit-exactly: the same firing log, the same per-request status
+/// sequence, and the same client retry count on both runs.
+#[test]
+fn service_seeded_admission_faults_replay_bit_exact() {
+    let plan = "seed=11;svc.admit:p=0.4";
+    let run = || {
+        with_chaos_state(Some(plan), None, || {
+            let handle = start_service(4, 0);
+            let mut c = Client::connect(
+                handle.addr(),
+                RetryPolicy {
+                    max_retries: 2,
+                    base: std::time::Duration::from_millis(1),
+                    cap: std::time::Duration::from_millis(4),
+                },
+                11,
+            )
+            .unwrap();
+            let statuses: Vec<Status> = (0..6)
+                .map(|_| c.run(&bfs_request()).expect("transport").status)
+                .collect();
+            let retries = c.retries_used();
+            c.shutdown().expect("shutdown");
+            let report = handle.join();
+            assert!(report.drained_clean);
+            (statuses, retries, fault::firing_log())
+        })
+    };
+    let (statuses_a, retries_a, log_a) = run();
+    let (statuses_b, retries_b, log_b) = run();
+    assert!(!log_a.is_empty(), "p=0.4 over six admissions must fire");
+    assert_eq!(log_a, log_b, "same seed must reproduce the firing sequence");
+    assert_eq!(statuses_a, statuses_b, "and therefore the same dispositions");
+    assert_eq!(retries_a, retries_b, "and the same retry schedule");
+    assert!(
+        statuses_a.contains(&Status::Ok),
+        "retries ride out transient rejections: {statuses_a:?}"
+    );
+}
+
 /// The CI chaos matrix entry point: whatever `STUDY_FAULTS`,
 /// `STUDY_MEM_BUDGET` and `STUDY_CELL_TIMEOUT_MS` say, a sweep must run
 /// to completion with a coherent outcome per cell, and cells that do
