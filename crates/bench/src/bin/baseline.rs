@@ -13,7 +13,12 @@
 //! `STUDY_DELTA`-sized update batches through a delta graph, and reports
 //! update throughput (`edges_absorbed_per_s`) and staleness
 //! (`staleness_s`, mean wall-clock per absorbed batch), verified against
-//! a from-scratch recompute on the compacted snapshot.
+//! a from-scratch recompute on the compacted snapshot. A fourth sweep
+//! covers the vertex-order dimension: every static cell re-runs at the
+//! thread-sweep maximum under each locality-optimizing order
+//! (`degree` / `hub` / `bfs`), with outputs un-permuted back to natural
+//! ids and verified against the natural-order references, and every
+//! cell reporting the `avg_col_gap` locality proxy of the CSR it ran on.
 //!
 //! ```text
 //! STUDY_SCALE=0.03 cargo run -p bench --bin baseline --release
@@ -42,7 +47,19 @@ use study_core::{
 };
 
 /// Schema identifier; bump on any incompatible layout change
-/// (`compare_bench.py` hard-fails on mismatch). v8 adds the service
+/// (`compare_bench.py` hard-fails on mismatch). v9 adds the vertex-order
+/// dimension: every cell carries `order` (the `STUDY_ORDER` mode it ran
+/// under, `natural` by default), static cells additionally carry
+/// `order_build_ns` (permutation + remap time, 0 when natural) and
+/// `avg_col_gap` (the locality proxy of the CSR the cell ran on), the
+/// header carries `order_mode` (the ambient env order — mismatched
+/// files are refused), and a fourth static sweep runs every (problem,
+/// system, graph) cell at the thread-sweep maximum under each
+/// non-natural order (`degree` / `hub` / `bfs`), verified through the
+/// inverse permutation against the natural-order references — the
+/// pull-heavy cells are where the locality win shows. Natural cells'
+/// counters are unchanged from v8 bit-for-bit (reordering is opt-in);
+/// v8 adds the service
 /// grid: two `service-*` cells (`service-cheap`, `service-mixed`) that
 /// stand up the long-lived analytics server in-process and drive the
 /// sustained-throughput client mix through the wire protocol, each
@@ -71,7 +88,7 @@ use study_core::{
 /// the `fault_plan` / `mem_budget` / `cell_timeout_ms` resilience knobs
 /// to the header; v2 added the SpMV kernel-selection counters and
 /// `kernel_mode`.
-const SCHEMA: &str = "graph-api-study/bench-baseline/v8";
+const SCHEMA: &str = "graph-api-study/bench-baseline/v9";
 
 /// Thread counts the static cells are swept over (the strong-scaling
 /// dimension of the paper's Figure 2). The pool is sized to the sweep
@@ -82,6 +99,16 @@ const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// Update batches each streaming cell absorbs (each `STUDY_DELTA` ops).
 const DELTA_BATCHES: usize = 4;
+
+/// Non-natural vertex orders the order-dimension sweep covers, each at
+/// the thread-sweep maximum. The natural-order cells are the static
+/// sweep itself, so the baseline always contains the locality win *and*
+/// the untouched reference it is measured against.
+const ORDER_SWEEP: [graph::OrderMode; 3] = [
+    graph::OrderMode::Degree,
+    graph::OrderMode::Hub,
+    graph::OrderMode::Bfs,
+];
 
 /// Track allocation churn so each cell's `alloc_bytes` is meaningful —
 /// elsewhere the counters stay zero and traced runs skip the metric.
@@ -340,6 +367,10 @@ fn main() {
         graphs.push(g);
     }
 
+    // Locality proxy of each prepared graph's active CSR, computed once
+    // — O(edges) per graph, stamped on every static cell that runs on it.
+    let col_gaps: Vec<f64> = prepared.iter().map(|p| p.active_col_gap()).collect();
+
     let mut cells = Vec::new();
     let mut failures = 0u32;
     let mut incomplete = 0u32;
@@ -352,13 +383,16 @@ fn main() {
         galois_rt::set_threads(threads);
         for problem in Problem::all() {
             for system in System::all() {
-                for p in &prepared {
+                for (gi, p) in prepared.iter().enumerate() {
                     let outcome = run_one_cell(system, problem, p, repeats);
                     let mut cell = Json::obj();
                     cell.push("problem", problem.to_string());
                     cell.push("system", system.to_string());
                     cell.push("graph", p.name.clone());
                     cell.push("threads", threads);
+                    cell.push("order", p.order_mode().name());
+                    cell.push("order_build_ns", p.order_build_ns());
+                    cell.push("avg_col_gap", col_gaps[gi]);
                     cell.push("status", outcome.status.name());
                     match outcome.value {
                         Some(run) => {
@@ -409,9 +443,77 @@ fn main() {
             }
         }
     }
-    // Batched and streaming dimensions run once, at the sweep maximum.
+    // Order, batched and streaming dimensions run at the sweep maximum.
     let full_threads = THREAD_SWEEP.iter().max().copied().unwrap_or(1);
     galois_rt::set_threads(full_threads);
+
+    // The order dimension: every static cell re-runs under each
+    // locality-optimizing vertex order. The ordered view rides alongside
+    // the untouched natural CSR; the runner translates sources in and
+    // un-permutes outputs back to original ids, so `verify` below is the
+    // exact natural-order reference path — a reordered cell that
+    // verifies has proven its inverse permutation end to end. A cell's
+    // `avg_col_gap` below its natural sibling's means the order
+    // genuinely tightened the column working set (the locality win the
+    // pull-direction kernels cash in).
+    for mode in ORDER_SWEEP {
+        let ordered: Vec<Arc<PreparedGraph>> = prepared
+            .iter()
+            .map(|p| Arc::new(PreparedGraph::clone(p).with_order(mode)))
+            .collect();
+        for problem in Problem::all() {
+            for system in System::all() {
+                for p in &ordered {
+                    let outcome = run_one_cell(system, problem, p, repeats);
+                    let mut cell = Json::obj();
+                    cell.push("problem", problem.to_string());
+                    cell.push("system", system.to_string());
+                    cell.push("graph", p.name.clone());
+                    cell.push("threads", full_threads);
+                    cell.push("order", mode.name());
+                    cell.push("order_build_ns", p.order_build_ns());
+                    cell.push("avg_col_gap", p.active_col_gap());
+                    cell.push("status", outcome.status.name());
+                    match outcome.value {
+                        Some(run) => {
+                            let verified = match verify::verify(p, problem, &run.output) {
+                                Ok(()) => true,
+                                Err(e) => {
+                                    eprintln!(
+                                        "[verify] {system} {problem} {} {mode}: {e}",
+                                        p.name
+                                    );
+                                    failures += 1;
+                                    false
+                                }
+                            };
+                            let wall = run.wall.as_secs_f64();
+                            eprintln!(
+                                "[cell] {problem} {system} {} {mode}: {:.3}s, gap {:.1}",
+                                p.name,
+                                wall,
+                                p.active_col_gap(),
+                            );
+                            cell.push("wall_s", wall);
+                            cell.push("traced_wall_s", run.traced_wall.as_secs_f64());
+                            cell.push("verified", verified);
+                            cell.push("trace", summary_json(&run.summary));
+                        }
+                        None => {
+                            let error = outcome.error.unwrap_or_default();
+                            eprintln!(
+                                "[cell] {problem} {system} {} {mode}: {} ({error})",
+                                p.name, outcome.status,
+                            );
+                            incomplete += 1;
+                            cell.push("error", error);
+                        }
+                    }
+                    cells.push(cell);
+                }
+            }
+        }
+    }
 
     // The batched dimension: k-source query cells. Per-query statuses
     // and verification — one query's failure costs that query only.
@@ -425,6 +527,7 @@ fn main() {
                 cell.push("system", system.to_string());
                 cell.push("graph", p.name.clone());
                 cell.push("threads", full_threads);
+                cell.push("order", p.order_mode().name());
                 cell.push("batch_width", sources.len());
                 cell.push("status", outcome.status.name());
                 match outcome.value {
@@ -503,6 +606,7 @@ fn main() {
                 cell.push("system", system.to_string());
                 cell.push("graph", p.name.clone());
                 cell.push("threads", full_threads);
+                cell.push("order", p.order_mode().name());
                 cell.push("delta_batch", delta_batch);
                 cell.push("batches", updates.len());
                 cell.push("absorbed", absorbed);
@@ -577,6 +681,7 @@ fn main() {
             cell.push("system", "service");
             cell.push("graph", p.name.clone());
             cell.push("threads", full_threads);
+            cell.push("order", p.order_mode().name());
             match service::Service::start(config, catalog) {
                 Ok(handle) => {
                     let spec = LoadSpec {
@@ -649,6 +754,7 @@ fn main() {
     doc.push("schema", SCHEMA);
     doc.push("kernel_mode", kernel_mode_name());
     doc.push("workspace_mode", workspace_mode_name());
+    doc.push("order_mode", graph::order::mode_from_env().name());
     doc.push(
         "fault_plan",
         substrate::fault::plan_spec().unwrap_or_else(|| "none".to_string()),
@@ -687,8 +793,8 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "[baseline] wrote {out}: {} cells ({} x {} threads + {} batched + {} streaming problems x {} systems x {} graphs + 2 service, batch width {batch_width}, delta batch {delta_batch})",
-        (Problem::all().len() * THREAD_SWEEP.len()
+        "[baseline] wrote {out}: {} cells ({} x ({} threads + {} orders) + {} batched + {} streaming problems x {} systems x {} graphs + 2 service, batch width {batch_width}, delta batch {delta_batch})",
+        (Problem::all().len() * (THREAD_SWEEP.len() + ORDER_SWEEP.len())
             + BatchProblem::all().len()
             + IncProblem::all().len())
             * System::all().len()
@@ -696,6 +802,7 @@ fn main() {
             + 2,
         Problem::all().len(),
         THREAD_SWEEP.len(),
+        ORDER_SWEEP.len(),
         BatchProblem::all().len(),
         IncProblem::all().len(),
         System::all().len(),

@@ -30,7 +30,7 @@ impl CsrGraph {
         assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
-            *offsets.last().expect("non-empty"),
+            offsets[offsets.len() - 1],
             dests.len(),
             "offsets must end at the edge count"
         );

@@ -188,7 +188,11 @@ impl EdgeBatch {
                 continue;
             }
             let mut fields = line.split_whitespace();
-            let op = fields.next().expect("non-empty line has a first field");
+            let Some(op) = fields.next() else {
+                // Unreachable after the is_empty check above, but this
+                // parser's contract is typed errors, never panics.
+                return Err(format!("line {}: empty after trimming", idx + 1));
+            };
             let mut id = |what: &str| -> Result<NodeId, String> {
                 let f = fields
                     .next()

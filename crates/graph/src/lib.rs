@@ -35,6 +35,7 @@ pub mod csr;
 pub mod delta;
 pub mod gen;
 pub mod io;
+pub mod order;
 pub mod stats;
 pub mod suite;
 pub mod transform;
@@ -42,5 +43,6 @@ pub mod transform;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, NodeId};
 pub use delta::{DeltaGraph, EdgeBatch, EdgeUpdate};
+pub use order::{OrderMode, Permutation};
 pub use stats::GraphStats;
 pub use suite::{Scale, StudyGraph};

@@ -19,6 +19,10 @@
 //! * rows that are not ascending (multigraph inputs keep their edge
 //!   order from the loader) cannot be gap-encoded; [`encode`] detects
 //!   any negative gap and the matrix falls back to plain iteration.
+//!   The `STUDY_ORDER` reordering tier emits sorted columns by
+//!   construction (`graph::order::Permutation::apply`), so reordered
+//!   graphs always qualify — and a locality-improving order shrinks
+//!   the gaps themselves, compounding the two tiers.
 //!
 //! The stream is rebuilt lazily per matrix and dropped by
 //! [`crate::Matrix::invalidate_transpose`] together with the cached

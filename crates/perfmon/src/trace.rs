@@ -567,7 +567,11 @@ impl Trace {
     /// checks: op spans keep every structural field (kind, backend, nnz,
     /// mask mode, materialized bytes); loop spans keep kind and
     /// iterations. Elapsed times, steal counts and bucket visits — the
-    /// fields legitimately perturbed by scheduling — are dropped.
+    /// fields legitimately perturbed by scheduling — are dropped. The
+    /// trace/v6 dump headers (`order_mode`, `order_build_ns`,
+    /// `avg_col_gap`) live outside the event stream entirely, so
+    /// natural-order fingerprints are unchanged by the reordering
+    /// tier's existence.
     pub fn fingerprint(&self) -> Vec<String> {
         self.events
             .iter()

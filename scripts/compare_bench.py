@@ -4,20 +4,39 @@
 Usage: python3 scripts/compare_bench.py BASELINE CURRENT [--threshold PCT]
                                         [--fail-on-regression]
                                         [--scaling-gate]
-                                        [--expect-schema v1|...|v8]
+                                        [--expect-schema v1|...|v9]
 
 Both files must carry the ``schema`` string selected by
-``--expect-schema`` (default v8, "graph-api-study/bench-baseline/v8");
+``--expect-schema`` (default v9, "graph-api-study/bench-baseline/v9");
 a mismatch is a hard failure (exit 2) because the cells are not
 comparable across schema revisions. The two files must also have been
 generated at the same ``batch_width`` and ``delta_batch`` — batched
 cells' wall times scale with queries per cell, and the streaming cells'
 throughput/staleness numbers scale with the update-batch size, so a
 differing width or delta size is refused with exit 2 exactly like a
-schema mismatch. Cells are keyed by (problem, system, graph, threads).
-For every cell present in both files the tracing-off ``wall_s`` is
-compared; a slowdown beyond the threshold (default 20%) is reported as
-a regression.
+schema mismatch. Cells are keyed by (problem, system, graph, threads,
+order). For every cell present in both files the tracing-off ``wall_s``
+is compared; a slowdown beyond the threshold (default 20%) is reported
+as a regression.
+
+v9 adds the vertex-order dimension. The header ``order_mode`` (the
+ambient ``STUDY_ORDER`` the file was generated under) must match
+between the two files — refused with exit 2 otherwise, since a
+reordered CSR changes every locality-sensitive wall time. Cells carry
+``order`` (``natural`` for the untouched static sweep, ``degree`` /
+``hub`` / ``bfs`` for the order-dimension cells) and it participates in
+the cell key. Reordering is strictly opt-in, so a *natural*-order cell
+whose deterministic trace counters drift between the files is a hard
+ERROR (exit 1), not a warning: the reordering tier has no business
+perturbing the untouched path. The one carve-out is LS ``passes`` /
+``product_rounds``, which count async worklist loops that scheduling
+legitimately perturbs (ktruss peel rounds flip between 4 and 5 at 4
+threads run to run) — those stay warnings on LS cells, while
+``materialized_bytes`` gates hard on every system. Ordered cells keep
+warning-level drift reporting (their counters legitimately move as
+orders evolve). The
+anti-scaling self-check only considers natural cells — order-dimension
+cells run at a single thread count.
 
 v7 adds the thread-scaling dimension. A ``thread_sweep`` or header
 ``threads`` mismatch between the two files is refused with exit 2 —
@@ -88,8 +107,9 @@ Exit codes: 0 ok / warnings only, 1 regression with --fail-on-regression
 or malformed input or a frontier materialization rise or an alloc churn
 rise on a workspace-gated cell or an ok->non-ok status regression (cell,
 per-query or served-request) or an unclean service drain or an
-anti-scaling cell under --scaling-gate, 2 schema, batch_width,
-delta_batch, thread_sweep or threads mismatch.
+anti-scaling cell under --scaling-gate or a natural-order counter
+drift, 2 schema, batch_width, delta_batch, thread_sweep, threads or
+order_mode mismatch.
 """
 
 import json
@@ -104,8 +124,9 @@ SCHEMAS = {
     "v6": "graph-api-study/bench-baseline/v6",
     "v7": "graph-api-study/bench-baseline/v7",
     "v8": "graph-api-study/bench-baseline/v8",
+    "v9": "graph-api-study/bench-baseline/v9",
 }
-DEFAULT_SCHEMA = "v8"
+DEFAULT_SCHEMA = "v9"
 # Trace counters that are deterministic for a fixed (scale, graph, problem,
 # system) — a drift here means algorithmic behaviour changed, not noise.
 STABLE_COUNTERS = ("passes", "product_rounds", "materialized_bytes")
@@ -141,8 +162,18 @@ def key(cell):
     # v7 cells carry the thread count they ran at; a 1-thread wall and an
     # 8-thread wall for the same (problem, system, graph) are distinct
     # measurements and must never be diffed against each other. Pre-v7
-    # cells have no "threads" field; str() keeps the key sortable either way.
-    return (cell["problem"], cell["system"], cell["graph"], str(cell.get("threads", "")))
+    # cells have no "threads" field; str() keeps the key sortable either
+    # way. v9 cells additionally carry the vertex order they ran under —
+    # a degree-ordered wall and a natural wall are likewise distinct
+    # measurements; pre-v9 cells default to "natural", which is what
+    # they were.
+    return (
+        cell["problem"],
+        cell["system"],
+        cell["graph"],
+        str(cell.get("threads", "")),
+        cell.get("order", "natural"),
+    )
 
 
 def main(argv):
@@ -222,6 +253,21 @@ def main(argv):
             )
             return 2
 
+    # Refuse cross-order comparisons the same way: a file generated
+    # under STUDY_ORDER=hub ran every cell on a reordered CSR, and its
+    # "natural"-labelled comparisons would be meaningless. Pre-v9 files
+    # carry no order_mode header and were always natural.
+    if base.get("order_mode", "natural") != cur.get("order_mode", "natural"):
+        print(
+            f"error: order_mode mismatch: {base_path} has "
+            f"{base.get('order_mode', 'natural')!r}, {cur_path} has "
+            f"{cur.get('order_mode', 'natural')!r}; cells are not comparable "
+            "across ambient vertex orders (regenerate with the same "
+            "STUDY_ORDER)",
+            file=sys.stderr,
+        )
+        return 2
+
     base_cells = {key(c): c for c in base["cells"]}
     cur_cells = {key(c): c for c in cur["cells"]}
     comparable = base.get("scale") == cur.get("scale")
@@ -266,6 +312,11 @@ def main(argv):
         for c in cur["cells"]:
             t = c.get("threads")
             if not isinstance(t, int) or c.get("status", "ok") != "ok":
+                continue
+            if c.get("order", "natural") != "natural":
+                # Order-dimension cells run only at the sweep maximum;
+                # mixing them into a family would overwrite the natural
+                # top-thread wall with a reordered one.
                 continue
             fam = (c["problem"], c["system"], c["graph"])
             families.setdefault(fam, {})[t] = c["wall_s"]
@@ -358,9 +409,26 @@ def main(argv):
             )
         bt, ct = b.get("trace", {}), c.get("trace", {})
         gated = k[0] in MATERIALIZATION_GATED
+        natural = c.get("order", "natural") == "natural"
         for counter in STABLE_COUNTERS:
             if counter in bt and counter in ct and bt[counter] != ct[counter]:
-                if counter == "materialized_bytes" and gated:
+                # Reordering is strictly opt-in: the natural-order path
+                # must stay bit-identical across the reordering tier's
+                # existence, so a deterministic-counter drift there is a
+                # regression, not a warning. "Deterministic" excludes
+                # LS passes/product_rounds, which count async worklist
+                # loops and are legitimately scheduling-perturbed
+                # (ktruss at 4 threads flips between 4 and 5 peel
+                # rounds run to run); materialized_bytes is structural
+                # on every system and gates everywhere.
+                ls_async = c.get("system") == "LS" and counter != "materialized_bytes"
+                if natural and not ls_async:
+                    errors.append(
+                        f"{name}: {counter} drifted {bt[counter]} -> "
+                        f"{ct[counter]} on a natural-order cell "
+                        "(the untouched path must stay bit-stable)"
+                    )
+                elif counter == "materialized_bytes" and gated:
                     if ct[counter] > bt[counter]:
                         errors.append(
                             f"{name}: materialized_bytes ROSE "

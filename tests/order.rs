@@ -1,0 +1,143 @@
+//! Property tests for the locality-optimizing vertex-reordering tier.
+//!
+//! Two families of checks:
+//!
+//! 1. Every order mode produces a true bijection that round-trips: the
+//!    inverse permutation applied to the reordered CSR reproduces the
+//!    (column-sorted) original graph, and per-vertex value
+//!    un-permutation is the exact inverse of position permutation — on
+//!    every study-graph shape.
+//! 2. The tentpole invariant: a reordered run, un-permuted back to
+//!    original vertex ids by the runner, is identical to the
+//!    natural-order run — per system, across all four kernel modes and
+//!    1/2/8 threads. bfs levels and cc components must match
+//!    bit-for-bit; pagerank ranks to the verification tolerance (the
+//!    reordered CSR legitimately sums in a different order).
+
+use graph_api_study::galois_rt;
+use graph_api_study::graph::order::{self, OrderMode, Permutation};
+use graph_api_study::graph::{Scale, StudyGraph};
+use graph_api_study::graphblas::ops::{self, KernelMode};
+use graph_api_study::study_core::{try_run, PreparedGraph, Problem, ProblemOutput, System};
+
+/// One shape per topology class of Table I, same trio the bench
+/// baseline defaults to: scale-free, road, web.
+const SHAPES: [StudyGraph; 3] = [
+    StudyGraph::Rmat22,
+    StudyGraph::RoadUsaW,
+    StudyGraph::Indochina04,
+];
+
+#[test]
+fn permutations_are_bijective_and_round_trip() {
+    for which in SHAPES {
+        let p = PreparedGraph::study(which, Scale::custom(1.0 / 256.0));
+        let g = &p.graph;
+        let n = g.num_nodes();
+        // `apply` emits sorted columns, so the round-trip target is the
+        // column-sorted natural graph, not the raw one.
+        let sorted_natural = Permutation::identity(n).apply(g);
+        for mode in OrderMode::all() {
+            let perm = order::build(mode, g);
+            assert_eq!(perm.len(), n, "{which:?} {mode}: permutation length");
+            for v in 0..n as u32 {
+                assert_eq!(
+                    perm.new_id(perm.old_id(v)),
+                    v,
+                    "{which:?} {mode}: new_id ∘ old_id must be identity at {v}"
+                );
+                assert_eq!(
+                    perm.old_id(perm.new_id(v)),
+                    v,
+                    "{which:?} {mode}: old_id ∘ new_id must be identity at {v}"
+                );
+            }
+            // Value round-trip: a vector laid out in reordered space,
+            // un-permuted, lands every entry back on its original vertex.
+            let permuted: Vec<u32> = (0..n as u32).map(|new| perm.old_id(new)).collect();
+            let natural: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(
+                perm.unpermute(&permuted),
+                natural,
+                "{which:?} {mode}: unpermute must invert the position permutation"
+            );
+            // Graph round-trip: apply ∘ inverse = identity on the CSR.
+            let ordered = perm.apply(g);
+            assert_eq!(ordered.num_nodes(), n, "{which:?} {mode}: node count");
+            assert_eq!(
+                ordered.num_edges(),
+                g.num_edges(),
+                "{which:?} {mode}: edge count"
+            );
+            let inverse = Permutation::from_new_of_old(perm.old_of_new().to_vec())
+                .expect("the inverse of a bijection is a bijection");
+            assert_eq!(
+                inverse.apply(&ordered),
+                sorted_natural,
+                "{which:?} {mode}: inverse.apply(ordered) must reproduce the original"
+            );
+        }
+    }
+}
+
+/// Reordered runs must be output-identical to natural runs on every
+/// shape × kernel mode × thread count — the end-to-end statement that
+/// the runner's source translation and inverse-permutation boundary is
+/// airtight no matter which kernel family executes underneath.
+#[test]
+fn reordered_outputs_match_natural_across_kernels_and_threads() {
+    let saved_mode = ops::kernel_mode();
+    let saved_threads = galois_rt::threads();
+    for which in SHAPES {
+        let p = PreparedGraph::study(which, Scale::custom(1.0 / 256.0));
+        let ordered: Vec<(OrderMode, PreparedGraph)> =
+            [OrderMode::Degree, OrderMode::Hub, OrderMode::Bfs]
+                .into_iter()
+                .map(|m| (m, p.clone().with_order(m)))
+                .collect();
+        for mode in [
+            KernelMode::Auto,
+            KernelMode::Push,
+            KernelMode::Pull,
+            KernelMode::Bitmap,
+        ] {
+            ops::set_kernel_mode(mode);
+            for threads in [1usize, 2, 8] {
+                galois_rt::set_threads(threads);
+                for system in System::all() {
+                    for problem in [Problem::Bfs, Problem::Cc, Problem::Pr] {
+                        let natural = try_run(system, problem, &p).unwrap_or_else(|e| {
+                            panic!("{which:?} {system} {problem} natural: {e}")
+                        });
+                        for (om, po) in &ordered {
+                            let got = try_run(system, problem, po).unwrap_or_else(|e| {
+                                panic!("{which:?} {system} {problem} {om}: {e}")
+                            });
+                            let ctx = format!(
+                                "{which:?} {system} {problem} order={om} \
+                                 kernel={mode:?} threads={threads}"
+                            );
+                            match (&natural, &got) {
+                                (ProblemOutput::Ranks(a), ProblemOutput::Ranks(b)) => {
+                                    assert_eq!(a.len(), b.len(), "{ctx}: rank count");
+                                    for (v, (x, y)) in a.iter().zip(b).enumerate() {
+                                        assert!(
+                                            (x - y).abs() <= 1e-9 * x.abs().max(1e-12),
+                                            "{ctx}: vertex {v} rank {x} vs {y}"
+                                        );
+                                    }
+                                }
+                                (a, b) => assert_eq!(
+                                    a, b,
+                                    "{ctx}: un-permuted output must be bit-identical"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ops::set_kernel_mode(saved_mode);
+    galois_rt::set_threads(saved_threads);
+}
